@@ -1,0 +1,20 @@
+// Package c2knn is a Go implementation of Cluster-and-Conquer (C²), the
+// KNN-graph construction algorithm of Giakkoupis, Kermarrec, Ruas and
+// Taïani ("Cluster-and-Conquer: When Randomness Meets Graph Locality",
+// ICDE 2021), together with everything its evaluation depends on: the
+// Hyrec, NNDescent and LSH baselines, GoldFinger profile fingerprints,
+// the FastRandomHash clustering scheme, calibrated synthetic dataset
+// generators, a collaborative-filtering recommender, and a benchmark
+// harness that regenerates every table and figure of the paper.
+//
+// # Quick start
+//
+//	d, _ := c2knn.Generate("ml1M", 0.1) // 10%-scale MovieLens1M lookalike
+//	sim, _ := c2knn.NewGoldFinger(d, 1024)
+//	g, stats := c2knn.BuildC2(d, sim, c2knn.BuildOptions{})
+//	fmt.Println(stats.Clusters, "clusters,", g.Neighbors(0))
+//
+// The package root re-exports the stable surface of the internal
+// packages; see the examples directory for complete programs and
+// cmd/c2bench for the experiment harness.
+package c2knn

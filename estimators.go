@@ -1,0 +1,23 @@
+package c2knn
+
+import (
+	"c2knn/internal/bbit"
+	"c2knn/internal/bloom"
+)
+
+// NewBBitMinHash summarizes every profile into a t-entry minwise
+// signature truncated to `bits` bits per entry (Li & König's b-bit
+// minwise hashing, reference [18] of the paper) and returns the resulting
+// estimated-Jaccard similarity. An alternative to NewGoldFinger with a
+// different memory/precision trade-off.
+func NewBBitMinHash(d *Dataset, bits uint, t int) (Similarity, error) {
+	return bbit.New(d, bits, t, 0xb17)
+}
+
+// NewBloomProfiles summarizes every profile into an m-bit Bloom filter
+// with h hashes per item (references [37], [38] of the paper) and returns
+// the resulting estimated-Jaccard similarity. With h=1 this is
+// structurally GoldFinger.
+func NewBloomProfiles(d *Dataset, mBits, h int) (Similarity, error) {
+	return bloom.New(d, mBits, h, 0xb100)
+}

@@ -1,0 +1,63 @@
+// Newsrec simulates the use case that motivates the paper's introduction:
+// an online news recommender where freshness matters, so the KNN graph
+// must be (re)built quickly as new data arrives. The example builds the
+// graph with the Hyrec greedy baseline and with Cluster-and-Conquer,
+// compares wall-clock time, and shows that recommendation recall is
+// essentially unchanged — the paper's Table III story.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"c2knn"
+)
+
+const (
+	k    = 30 // neighborhood size
+	nRec = 30 // items recommended per user
+)
+
+func main() {
+	// An AmazonMovies-like sparse catalogue: many items, short profiles —
+	// the regime where clustering pays off most against greedy baselines.
+	d, err := c2knn.Generate("AM", 0.08)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("catalogue: %d readers, %d articles, %d clicks\n\n",
+		d.NumUsers(), d.NumItems, d.NumRatings())
+
+	// Hold out 20% of every reader's history to measure recall.
+	folds := c2knn.SplitFolds(d, 5, 1)
+	fold := folds[0]
+	sim, err := c2knn.NewGoldFinger(fold.Train, 1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type run struct {
+		name  string
+		build func() *c2knn.Graph
+	}
+	runs := []run{
+		{"Hyrec (greedy baseline)", func() *c2knn.Graph {
+			return c2knn.BuildHyrec(fold.Train, sim, k)
+		}},
+		{"Cluster-and-Conquer", func() *c2knn.Graph {
+			g, _ := c2knn.BuildC2(fold.Train, sim, c2knn.BuildOptions{K: k})
+			return g
+		}},
+	}
+	for _, r := range runs {
+		start := time.Now()
+		g := r.build()
+		elapsed := time.Since(start)
+		recall := c2knn.EvalRecall(fold, g, nRec)
+		fmt.Printf("%-26s build %-10v recall@%d %.3f\n",
+			r.name, elapsed.Round(time.Millisecond), nRec, recall)
+	}
+	fmt.Println("\nC2 rebuilds the graph fastest — fresh stories reach the")
+	fmt.Println("recommender sooner, at essentially the same recall.")
+}

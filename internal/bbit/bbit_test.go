@@ -1,0 +1,139 @@
+package bbit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"c2knn/internal/dataset"
+	"c2knn/internal/sets"
+	"c2knn/internal/similarity"
+)
+
+func TestNewValidation(t *testing.T) {
+	d := dataset.New("x", [][]int32{{0}}, 1)
+	for _, bad := range []uint{0, 17, 64} {
+		if _, err := New(d, bad, 8, 1); err == nil {
+			t.Errorf("bits=%d accepted", bad)
+		}
+	}
+	if _, err := New(d, 8, 0, 1); err == nil {
+		t.Error("t=0 accepted")
+	}
+	if _, err := New(d, 8, 16, 1); err != nil {
+		t.Errorf("valid parameters rejected: %v", err)
+	}
+}
+
+func TestIdenticalProfiles(t *testing.T) {
+	d := dataset.New("id", [][]int32{{1, 5, 9}, {1, 5, 9}}, 10)
+	s := MustNew(d, 8, 64, 3)
+	if got := s.Sim(0, 1); got != 1 {
+		t.Errorf("identical profiles estimate %v, want 1", got)
+	}
+}
+
+func TestDisjointProfilesNearZero(t *testing.T) {
+	d := dataset.New("dj", [][]int32{{1, 2, 3, 4}, {100, 200, 300, 400}}, 500)
+	s := MustNew(d, 12, 256, 3)
+	if got := s.Sim(0, 1); got > 0.1 {
+		t.Errorf("disjoint profiles estimate %v, want ≈ 0 after debiasing", got)
+	}
+}
+
+// TestEstimatorAccuracy: with enough functions the debiased b-bit
+// estimator tracks exact Jaccard.
+func TestEstimatorAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	profiles := make([][]int32, 30)
+	for i := range profiles {
+		p := make([]int32, 60)
+		base := rng.Intn(500)
+		for j := range p {
+			p[j] = int32(base + rng.Intn(200))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("acc", profiles, 1000)
+	exact := similarity.NewJaccard(d)
+	s := MustNew(d, 8, 512, 7)
+	var errSum float64
+	n := 0
+	for u := int32(0); u < 30; u++ {
+		for v := u + 1; v < 30; v++ {
+			errSum += math.Abs(s.Sim(u, v) - exact.Sim(u, v))
+			n++
+		}
+	}
+	if mean := errSum / float64(n); mean > 0.06 {
+		t.Errorf("mean |estimate − exact| = %.4f, want ≤ 0.06", mean)
+	}
+}
+
+// TestFewerBitsMoreBias: 1-bit signatures need debiasing and stay within
+// range; accuracy improves with b at fixed t.
+func TestFewerBitsMoreBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	profiles := make([][]int32, 20)
+	for i := range profiles {
+		p := make([]int32, 50)
+		base := rng.Intn(300)
+		for j := range p {
+			p[j] = int32(base + rng.Intn(150))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("b", profiles, 600)
+	exact := similarity.NewJaccard(d)
+	err1 := meanErr(d, exact, 1)
+	err12 := meanErr(d, exact, 12)
+	if err12 > err1+0.02 {
+		t.Errorf("12-bit error %.4f worse than 1-bit %.4f", err12, err1)
+	}
+	s1 := MustNew(d, 1, 256, 7)
+	for u := int32(0); u < 20; u++ {
+		for v := int32(0); v < 20; v++ {
+			if got := s1.Sim(u, v); got < 0 || got > 1 {
+				t.Fatalf("estimate %v out of range", got)
+			}
+		}
+	}
+}
+
+func meanErr(d *dataset.Dataset, exact similarity.Provider, bits uint) float64 {
+	s := MustNew(d, bits, 256, 7)
+	var sum float64
+	n := 0
+	for u := int32(0); u < int32(d.NumUsers()); u++ {
+		for v := u + 1; v < int32(d.NumUsers()); v++ {
+			sum += math.Abs(s.Sim(u, v) - exact.Sim(u, v))
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestAccessors(t *testing.T) {
+	d := dataset.New("a", [][]int32{{0}}, 1)
+	s := MustNew(d, 4, 32, 1)
+	if s.Bits() != 4 || s.Functions() != 32 || s.BytesPerUser() != 64 {
+		t.Errorf("accessors: %d %d %d", s.Bits(), s.Functions(), s.BytesPerUser())
+	}
+}
+
+func BenchmarkSim256Fns(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	profiles := make([][]int32, 2)
+	for i := range profiles {
+		p := make([]int32, 90)
+		for j := range p {
+			p[j] = int32(rng.Intn(10000))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	s := MustNew(dataset.New("b", profiles, 10000), 8, 256, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sim(0, 1)
+	}
+}

@@ -1,0 +1,156 @@
+package bloom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"c2knn/internal/dataset"
+	"c2knn/internal/goldfinger"
+	"c2knn/internal/sets"
+	"c2knn/internal/similarity"
+)
+
+func TestNewValidation(t *testing.T) {
+	d := dataset.New("x", [][]int32{{0}}, 1)
+	for _, bad := range []int{0, -64, 100} {
+		if _, err := New(d, bad, 2, 1); err == nil {
+			t.Errorf("mBits=%d accepted", bad)
+		}
+	}
+	if _, err := New(d, 128, 0, 1); err == nil {
+		t.Error("h=0 accepted")
+	}
+}
+
+func TestIdenticalAndDisjoint(t *testing.T) {
+	d := dataset.New("id", [][]int32{{1, 5, 9}, {1, 5, 9}, {70, 80, 90}}, 100)
+	s := MustNew(d, 1024, 3, 3)
+	if got := s.Sim(0, 1); got != 1 {
+		t.Errorf("identical profiles estimate %v, want 1", got)
+	}
+	if got := s.Sim(0, 2); got > 0.3 {
+		t.Errorf("disjoint tiny profiles estimate %v, want ≈ 0", got)
+	}
+}
+
+func TestEmptyProfiles(t *testing.T) {
+	d := dataset.New("e", [][]int32{{}, {}}, 1)
+	s := MustNew(d, 64, 2, 1)
+	if got := s.Sim(0, 1); got != 0 {
+		t.Errorf("two empty filters estimate %v, want 0", got)
+	}
+}
+
+// TestMonotoneInOverlap: the estimator must rank pairs by true overlap —
+// the property KNN construction needs from any similarity stand-in.
+func TestMonotoneInOverlap(t *testing.T) {
+	base := make([]int32, 40)
+	for i := range base {
+		base[i] = int32(i)
+	}
+	mkOverlap := func(shared int) []int32 {
+		p := append([]int32(nil), base[:shared]...)
+		for i := shared; i < 40; i++ {
+			p = append(p, int32(1000+i))
+		}
+		return sets.Normalize(p)
+	}
+	d := dataset.New("m", [][]int32{base, mkOverlap(30), mkOverlap(10)}, 2000)
+	s := MustNew(d, 1024, 2, 5)
+	if s.Sim(0, 1) <= s.Sim(0, 2) {
+		t.Errorf("higher overlap estimated lower: %v vs %v", s.Sim(0, 1), s.Sim(0, 2))
+	}
+}
+
+// TestSingleHashMatchesGoldFinger: h=1 Bloom filters are exactly
+// GoldFinger fingerprints (same bit per item under the same hash).
+func TestSingleHashBehavesLikeGoldFinger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	profiles := make([][]int32, 20)
+	for i := range profiles {
+		p := make([]int32, 30)
+		base := rng.Intn(200)
+		for j := range p {
+			p[j] = int32(base + rng.Intn(100))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("gf", profiles, 400)
+	b := MustNew(d, 512, 1, 11)
+	g := goldfinger.MustNew(d, 512, 11)
+	// Same structure (one bit per item), same estimator — estimates agree
+	// closely even though the item→bit hash differs.
+	var diff float64
+	n := 0
+	for u := int32(0); u < 20; u++ {
+		for v := u + 1; v < 20; v++ {
+			diff += math.Abs(b.Sim(u, v) - g.Sim(u, v))
+			n++
+		}
+	}
+	if mean := diff / float64(n); mean > 0.08 {
+		t.Errorf("h=1 bloom vs goldfinger mean divergence %.4f, want small", mean)
+	}
+}
+
+// TestAccuracyAgainstExact mirrors the GoldFinger accuracy test.
+func TestAccuracyAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	profiles := make([][]int32, 30)
+	for i := range profiles {
+		p := make([]int32, 60)
+		base := rng.Intn(500)
+		for j := range p {
+			p[j] = int32(base + rng.Intn(200))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("acc", profiles, 1000)
+	exact := similarity.NewJaccard(d)
+	s := MustNew(d, 2048, 2, 7)
+	var errSum float64
+	n := 0
+	for u := int32(0); u < 30; u++ {
+		for v := u + 1; v < 30; v++ {
+			errSum += math.Abs(s.Sim(u, v) - exact.Sim(u, v))
+			n++
+		}
+	}
+	if mean := errSum / float64(n); mean > 0.08 {
+		t.Errorf("mean |estimate − exact| = %.4f, want ≤ 0.08", mean)
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	d := dataset.New("f", [][]int32{{0}}, 1)
+	s := MustNew(d, 1024, 2, 1)
+	small := s.FalsePositiveRate(10)
+	big := s.FalsePositiveRate(500)
+	if small >= big {
+		t.Errorf("FPR should grow with load: %v vs %v", small, big)
+	}
+	if small < 0 || big > 1 {
+		t.Error("FPR out of range")
+	}
+	if s.Bits() != 1024 || s.Hashes() != 2 {
+		t.Error("accessors broken")
+	}
+}
+
+func BenchmarkSim1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	profiles := make([][]int32, 2)
+	for i := range profiles {
+		p := make([]int32, 90)
+		for j := range p {
+			p[j] = int32(rng.Intn(10000))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	s := MustNew(dataset.New("b", profiles, 10000), 1024, 2, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sim(0, 1)
+	}
+}

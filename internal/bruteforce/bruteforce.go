@@ -1,0 +1,72 @@
+// Package bruteforce computes exact KNN graphs by exhaustive pairwise
+// comparison — the paper's reference baseline (§IV-B1, n(n−1)/2 similarity
+// computations) and also the local solver Cluster-and-Conquer applies to
+// small clusters (§II-F).
+package bruteforce
+
+import (
+	"sync"
+
+	"c2knn/internal/knng"
+	"c2knn/internal/similarity"
+)
+
+// Build computes the exact KNN graph over users 0..n-1 with neighborhoods
+// of size k, parallelized over `workers` goroutines. Each unordered pair
+// is evaluated exactly once and the result feeds both endpoints' lists.
+func Build(n, k int, p similarity.Provider, workers int) *knng.Graph {
+	g := knng.New(n, k)
+	if n < 2 {
+		return g
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	shared := knng.NewShared(g)
+	// Rows are distributed in strided fashion: row u costs n-u-1
+	// similarity computations, so striding balances work across workers
+	// without a queue.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for u := start; u < n; u += workers {
+				for v := u + 1; v < n; v++ {
+					s := p.Sim(int32(u), int32(v))
+					shared.Insert(int32(u), int32(v), s)
+					shared.Insert(int32(v), int32(u), s)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return g
+}
+
+// Local computes the exact KNN lists of the users in ids, restricted to
+// candidates within ids. The returned lists are parallel to ids and hold
+// global user ids; this is the per-cluster solver used by C² and LSH.
+// Local is sequential: parallelism comes from processing many clusters at
+// once.
+func Local(ids []int32, k int, p similarity.Provider) []knng.List {
+	lists := make([]knng.List, len(ids))
+	for i := range lists {
+		lists[i].K = k
+	}
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			s := p.Sim(ids[i], ids[j])
+			lists[i].Insert(ids[j], s)
+			lists[j].Insert(ids[i], s)
+		}
+	}
+	return lists
+}
+
+// PairCount returns the number of similarity computations Build/Local
+// perform for a population of size n: n(n−1)/2. It is the cost model C²
+// uses when choosing between brute force and Hyrec for a cluster.
+func PairCount(n int) int64 {
+	return int64(n) * int64(n-1) / 2
+}

@@ -1,0 +1,139 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"c2knn/internal/similarity"
+)
+
+// pairSim is a deterministic synthetic metric.
+func pairSim(u, v int32) float64 {
+	if u > v {
+		u, v = v, u
+	}
+	return float64((int64(u)*7919+int64(v)*104729)%9973) / 9973
+}
+
+func TestBuildMatchesNaive(t *testing.T) {
+	const n, k = 60, 5
+	p := similarity.Func(pairSim)
+	g := Build(n, k, p, 3)
+	for u := int32(0); u < n; u++ {
+		want := naiveTopK(n, k, u)
+		got := g.Neighbors(u)
+		if len(got) != k {
+			t.Fatalf("user %d has %d neighbors, want %d", u, len(got), k)
+		}
+		for i := range want {
+			if got[i].Sim != want[i] {
+				t.Errorf("user %d rank %d: sim %v, want %v", u, i, got[i].Sim, want[i])
+			}
+		}
+	}
+}
+
+func naiveTopK(n, k int, u int32) []float64 {
+	var sims []float64
+	for v := int32(0); v < int32(n); v++ {
+		if v != u {
+			sims = append(sims, pairSim(u, v))
+		}
+	}
+	// insertion sort descending
+	for i := 1; i < len(sims); i++ {
+		for j := i; j > 0 && sims[j] > sims[j-1]; j-- {
+			sims[j], sims[j-1] = sims[j-1], sims[j]
+		}
+	}
+	return sims[:k]
+}
+
+func TestBuildComputesEachPairOnce(t *testing.T) {
+	const n = 40
+	c := similarity.NewCounting(similarity.Func(pairSim))
+	Build(n, 3, c, 4)
+	if got, want := c.Count(), PairCount(n); got != want {
+		t.Errorf("similarity computations = %d, want %d", got, want)
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	p := similarity.Func(pairSim)
+	if g := Build(0, 3, p, 2); g.NumUsers() != 0 {
+		t.Error("empty population mishandled")
+	}
+	if g := Build(1, 3, p, 2); g.Lists[0].Len() != 0 {
+		t.Error("single user should have no neighbors")
+	}
+	g := Build(2, 3, p, 2)
+	if g.Lists[0].Len() != 1 || g.Lists[1].Len() != 1 {
+		t.Error("pair population should be mutually connected")
+	}
+}
+
+func TestBuildWorkerCountIrrelevant(t *testing.T) {
+	const n, k = 80, 4
+	p := similarity.Func(pairSim)
+	g1 := Build(n, k, p, 1)
+	g4 := Build(n, k, p, 4)
+	for u := int32(0); u < n; u++ {
+		a, b := g1.Neighbors(u), g4.Neighbors(u)
+		for i := range a {
+			if a[i].Sim != b[i].Sim {
+				t.Fatalf("user %d: results depend on worker count", u)
+			}
+		}
+	}
+}
+
+func TestLocalRestrictsToSubset(t *testing.T) {
+	ids := []int32{3, 9, 14, 27, 41}
+	lists := Local(ids, 3, similarity.Func(pairSim))
+	if len(lists) != len(ids) {
+		t.Fatalf("got %d lists, want %d", len(lists), len(ids))
+	}
+	inSubset := make(map[int32]bool)
+	for _, id := range ids {
+		inSubset[id] = true
+	}
+	for i, l := range lists {
+		if l.Len() != 3 {
+			t.Errorf("list %d has %d neighbors, want 3", i, l.Len())
+		}
+		for _, nb := range l.H {
+			if !inSubset[nb.ID] {
+				t.Errorf("list %d contains out-of-cluster id %d", i, nb.ID)
+			}
+			if nb.ID == ids[i] {
+				t.Errorf("list %d contains self", i)
+			}
+			if nb.Sim != pairSim(ids[i], nb.ID) {
+				t.Errorf("list %d stores wrong sim", i)
+			}
+		}
+	}
+}
+
+func TestLocalSingleton(t *testing.T) {
+	lists := Local([]int32{5}, 3, similarity.Func(pairSim))
+	if len(lists) != 1 || lists[0].Len() != 0 {
+		t.Error("singleton cluster should produce one empty list")
+	}
+}
+
+func TestPairCount(t *testing.T) {
+	cases := map[int]int64{0: 0, 1: 0, 2: 1, 10: 45, 100: 4950}
+	for n, want := range cases {
+		if got := PairCount(n); got != want {
+			t.Errorf("PairCount(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func BenchmarkBuild500(b *testing.B) {
+	p := similarity.Func(pairSim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(500, 10, p, 2)
+	}
+}

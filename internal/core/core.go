@@ -1,0 +1,280 @@
+// Package core implements Cluster-and-Conquer (C²), the paper's primary
+// contribution (§II). C² computes an approximate KNN graph in three
+// steps:
+//
+//  1. Clustering — FastRandomHash partitions users into t×b clusters
+//     (recursively split above MaxClusterSize), giving the computation a
+//     high initial graph locality instead of the greedy algorithms'
+//     random start.
+//  2. Scheduling and local KNN — clusters are processed largest-first by
+//     a worker pool; each cluster's partial KNN graph is computed in
+//     isolation, by brute force when |C| < ρ·k² and by Hyrec otherwise
+//     (Algorithm 2).
+//  3. Merging — partial graphs are folded user-by-user into bounded
+//     k-heaps, reusing the similarities already computed (Algorithm 3).
+//
+// The package also exposes the ablations evaluated by the paper and by
+// this repository's benchmarks: MinHash clustering in place of
+// FastRandomHash (Table IV), splitting disabled, FIFO scheduling, and
+// forced local solvers.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"c2knn/internal/bruteforce"
+	"c2knn/internal/dataset"
+	"c2knn/internal/frh"
+	"c2knn/internal/hyrec"
+	"c2knn/internal/knng"
+	"c2knn/internal/minhash"
+	"c2knn/internal/schedule"
+	"c2knn/internal/similarity"
+)
+
+// LocalSolver selects how each cluster's partial KNN graph is computed.
+type LocalSolver int
+
+const (
+	// SolverHybrid applies the paper's rule: brute force when
+	// |C| < ρ·k², Hyrec otherwise (Algorithm 2).
+	SolverHybrid LocalSolver = iota
+	// SolverBruteForce always brute-forces clusters (ablation).
+	SolverBruteForce
+	// SolverHyrec always runs Hyrec on clusters of more than k+1 users
+	// (ablation).
+	SolverHyrec
+)
+
+// String implements fmt.Stringer.
+func (s LocalSolver) String() string {
+	switch s {
+	case SolverHybrid:
+		return "hybrid"
+	case SolverBruteForce:
+		return "bruteforce"
+	case SolverHyrec:
+		return "hyrec"
+	}
+	return fmt.Sprintf("LocalSolver(%d)", int(s))
+}
+
+// Scheduling selects the order clusters are fed to the worker pool.
+type Scheduling int
+
+const (
+	// ScheduleLargestFirst is the paper's decreasing-size priority queue.
+	ScheduleLargestFirst Scheduling = iota
+	// ScheduleFIFO processes clusters in production order (ablation).
+	ScheduleFIFO
+)
+
+// String implements fmt.Stringer.
+func (s Scheduling) String() string {
+	if s == ScheduleFIFO {
+		return "fifo"
+	}
+	return "largest-first"
+}
+
+// Options parameterizes a C² run. The zero value (after defaulting) is
+// the paper's configuration: k=30, b=4096, t=8, N=2000, ρ=5, hybrid local
+// solver, largest-first scheduling, recursive splitting on.
+type Options struct {
+	// K is the neighborhood size (default 30).
+	K int
+	// B is the number of clusters per hash function (default 4096).
+	B int
+	// T is the number of hash functions (default 8).
+	T int
+	// MaxClusterSize is the recursive-splitting threshold N
+	// (default 2000). Ignored when DisableSplitting or UseMinHash is set.
+	MaxClusterSize int
+	// Rho is the ρ of the brute-force/Hyrec switch: brute force is chosen
+	// when |C| < ρ·k² (default 5). It also caps the local Hyrec
+	// iteration count, matching the cost model of §II-F.
+	Rho int
+	// Delta is the local Hyrec termination threshold (default 0.001).
+	Delta float64
+	// Workers sizes the cluster-processing pool (default 1).
+	Workers int
+	// Seed drives the hash family and local Hyrec initializations.
+	Seed int64
+	// DisableSplitting turns recursive splitting off (ablation).
+	DisableSplitting bool
+	// Scheduling selects the cluster processing order.
+	Scheduling Scheduling
+	// LocalSolver selects the per-cluster algorithm.
+	LocalSolver LocalSolver
+	// UseMinHash replaces FastRandomHash with classic MinHash functions
+	// (one bucket per distinct min-hash value, no splitting) — the
+	// C²/MinHash variant of Table IV.
+	UseMinHash bool
+}
+
+func (o *Options) setDefaults() {
+	if o.K == 0 {
+		o.K = 30
+	}
+	if o.B == 0 {
+		o.B = frh.DefaultB
+	}
+	if o.T == 0 {
+		o.T = frh.DefaultT
+	}
+	if o.MaxClusterSize == 0 {
+		o.MaxClusterSize = frh.DefaultMaxSize
+	}
+	if o.Rho == 0 {
+		o.Rho = 5
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.001
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+}
+
+// Stats reports how a C² run unfolded, including the per-step timings the
+// paper's performance analysis rests on.
+type Stats struct {
+	// Clusters is the number of clusters processed.
+	Clusters int
+	// Splits counts recursive split operations.
+	Splits int
+	// MaxCluster is the largest processed cluster.
+	MaxCluster int
+	// BruteForced and Hyreced count clusters per local solver.
+	BruteForced int
+	Hyreced     int
+	// ClusterTime, KNNTime are the durations of steps 1 and 2+3 (local
+	// KNN and merging overlap by design: each worker merges the cluster
+	// it just solved).
+	ClusterTime time.Duration
+	KNNTime     time.Duration
+}
+
+// Build computes the approximate KNN graph of d under options o, using p
+// for all similarity evaluations (GoldFinger estimates in the paper's
+// default setup, exact Jaccard for the Table V "raw data" variant).
+func Build(d *dataset.Dataset, p similarity.Provider, o Options) (*knng.Graph, Stats) {
+	o.setDefaults()
+	var stats Stats
+
+	start := time.Now()
+	var clusters []frh.Cluster
+	if o.UseMinHash {
+		clusters = minhashClusters(d, o)
+	} else {
+		fo := frh.Options{B: o.B, T: o.T, MaxSize: o.MaxClusterSize, Seed: o.Seed}
+		if o.DisableSplitting {
+			fo.MaxSize = -1
+		}
+		var fstats frh.Stats
+		clusters, fstats = frh.Build(d, fo)
+		stats.Splits = fstats.Splits
+	}
+	stats.Clusters = len(clusters)
+	for i := range clusters {
+		if len(clusters[i].Users) > stats.MaxCluster {
+			stats.MaxCluster = len(clusters[i].Users)
+		}
+	}
+	stats.ClusterTime = time.Since(start)
+
+	start = time.Now()
+	g := knng.New(d.NumUsers(), o.K)
+	shared := knng.NewShared(g)
+	sizes := frh.Sizes(clusters)
+	var order []int
+	if o.Scheduling == ScheduleFIFO {
+		order = schedule.FIFO(len(clusters))
+	} else {
+		order = schedule.LargestFirst(sizes)
+	}
+	// Per-solver counters are written by workers; aggregate through a
+	// channel-free trick: each job is claimed by exactly one worker, so a
+	// plain slice indexed by job is race-free.
+	solver := make([]bool, len(clusters)) // true = Hyrec
+	schedule.Run(o.Workers, order, func(job int) {
+		ids := clusters[job].Users
+		if len(ids) < 2 {
+			return
+		}
+		var lists []knng.List
+		if useHyrec(o, len(ids)) {
+			solver[job] = true
+			lists = hyrec.Local(ids, o.K, p, hyrec.Options{
+				Delta:   o.Delta,
+				MaxIter: o.Rho,
+				Seed:    o.Seed + int64(job),
+			})
+		} else {
+			lists = bruteforce.Local(ids, o.K, p)
+		}
+		for i := range lists {
+			shared.MergeUser(ids[i], lists[i].H)
+		}
+	})
+	for job := range clusters {
+		if len(clusters[job].Users) < 2 {
+			continue
+		}
+		if solver[job] {
+			stats.Hyreced++
+		} else {
+			stats.BruteForced++
+		}
+	}
+	stats.KNNTime = time.Since(start)
+	return g, stats
+}
+
+// useHyrec applies Algorithm 2's switch rule under the configured solver
+// policy. Tiny clusters (≤ k+1 users) are always brute-forced: Hyrec's
+// random initialization already connects everyone to everyone there.
+func useHyrec(o Options, size int) bool {
+	if size <= o.K+1 {
+		return false
+	}
+	switch o.LocalSolver {
+	case SolverBruteForce:
+		return false
+	case SolverHyrec:
+		return true
+	default:
+		return size >= o.Rho*o.K*o.K
+	}
+}
+
+// minhashClusters buckets users by t MinHash functions, one bucket set
+// per function, without splitting — the clustering of the C²/MinHash
+// ablation (§V-C).
+func minhashClusters(d *dataset.Dataset, o Options) []frh.Cluster {
+	fam := minhash.New(o.T, o.Seed)
+	var clusters []frh.Cluster
+	for fn := 0; fn < o.T; fn++ {
+		byHash := make(map[uint32][]int32)
+		for u := 0; u < d.NumUsers(); u++ {
+			v, ok := fam.Value(fn, d.Profiles[u])
+			if !ok {
+				continue
+			}
+			byHash[v] = append(byHash[v], int32(u))
+		}
+		// Emit buckets in sorted key order: map iteration order would
+		// make runs non-deterministic.
+		keys := make([]uint32, 0, len(byHash))
+		for idx := range byHash {
+			keys = append(keys, idx)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, idx := range keys {
+			clusters = append(clusters, frh.Cluster{Fn: fn, Index: idx, Users: byHash[idx]})
+		}
+	}
+	return clusters
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"testing"
+
+	"c2knn/internal/bruteforce"
+	"c2knn/internal/dataset"
+	"c2knn/internal/goldfinger"
+	"c2knn/internal/knng"
+	"c2knn/internal/similarity"
+	"c2knn/internal/synth"
+)
+
+// testData generates a small clustered dataset once per test binary.
+func testData(t testing.TB) (*synthBundle, *similarity.Jaccard) {
+	t.Helper()
+	bundle := loadBundle()
+	return bundle, bundle.raw
+}
+
+type synthBundle struct {
+	data  *dataset.Dataset
+	raw   *similarity.Jaccard
+	gf    *goldfinger.Set
+	exact *knng.Graph
+}
+
+var bundleCache *synthBundle
+
+func loadBundle() *synthBundle {
+	if bundleCache != nil {
+		return bundleCache
+	}
+	cfg := synth.ML1M().Scale(0.08) // ≈ 480 users, small but structured
+	d := synth.Generate(cfg)
+	raw := similarity.NewJaccard(d)
+	gf := goldfinger.MustNew(d, 512, 1)
+	exact := bruteforce.Build(d.NumUsers(), 10, raw, 2)
+	bundleCache = &synthBundle{data: d, raw: raw, gf: gf, exact: exact}
+	return bundleCache
+}
+
+func TestBuildProducesReasonableGraph(t *testing.T) {
+	b, raw := testData(t)
+	g, stats := Build(b.data, b.gf, Options{K: 10, B: 256, T: 8, MaxClusterSize: 100, Workers: 2, Seed: 3})
+	if g.NumUsers() != b.data.NumUsers() {
+		t.Fatalf("graph size %d != users %d", g.NumUsers(), b.data.NumUsers())
+	}
+	q := knng.Quality(g, b.exact, raw)
+	if q < 0.8 {
+		t.Errorf("C2 quality = %.3f, want ≥ 0.8 on clustered data", q)
+	}
+	if stats.Clusters == 0 {
+		t.Error("no clusters reported")
+	}
+	if stats.BruteForced+stats.Hyreced == 0 {
+		t.Error("no clusters processed")
+	}
+}
+
+func TestBuildBeatsRandomBaseline(t *testing.T) {
+	b, raw := testData(t)
+	g, _ := Build(b.data, b.gf, Options{K: 10, B: 256, T: 8, MaxClusterSize: 100, Workers: 2, Seed: 3})
+	random := knng.New(b.data.NumUsers(), 10)
+	knng.RandomInit(random, raw, 1)
+	if g.AvgSim(raw) <= random.AvgSim(raw) {
+		t.Error("C2 graph no better than a random graph")
+	}
+}
+
+func TestSimilarityReuseNoRecomputation(t *testing.T) {
+	// The number of similarity computations must not exceed the sum of
+	// per-cluster pair counts (merging reuses stored values).
+	b, _ := testData(t)
+	counting := similarity.NewCounting(b.gf)
+	_, stats := Build(b.data, counting, Options{K: 10, B: 256, T: 4, MaxClusterSize: 80, Workers: 2, Seed: 5})
+	bound := int64(0)
+	// Upper bound: every cluster at MaxClusterSize, brute forced.
+	bound = int64(stats.Clusters) * bruteforce.PairCount(90)
+	if counting.Count() > bound {
+		t.Errorf("sims = %d exceed the cluster-pair bound %d", counting.Count(), bound)
+	}
+	if counting.Count() == 0 {
+		t.Error("no similarities computed at all")
+	}
+}
+
+func TestWorkerInvariance(t *testing.T) {
+	b, raw := testData(t)
+	opts := Options{K: 10, B: 256, T: 6, MaxClusterSize: 100, Seed: 7}
+	o1 := opts
+	o1.Workers = 1
+	o4 := opts
+	o4.Workers = 4
+	g1, _ := Build(b.data, b.gf, o1)
+	g4, _ := Build(b.data, b.gf, o4)
+	q1 := knng.Quality(g1, b.exact, raw)
+	q4 := knng.Quality(g4, b.exact, raw)
+	if diff := q1 - q4; diff > 0.02 || diff < -0.02 {
+		t.Errorf("quality depends on workers: %.3f vs %.3f", q1, q4)
+	}
+}
+
+func TestSplittingImprovesBalance(t *testing.T) {
+	b, _ := testData(t)
+	_, withSplit := Build(b.data, b.gf, Options{K: 10, B: 64, T: 4, MaxClusterSize: 60, Workers: 2, Seed: 9})
+	_, noSplit := Build(b.data, b.gf, Options{K: 10, B: 64, T: 4, DisableSplitting: true, Workers: 2, Seed: 9})
+	if withSplit.Splits == 0 {
+		t.Skip("dataset too small to trigger splitting at this B")
+	}
+	if withSplit.MaxCluster >= noSplit.MaxCluster {
+		t.Errorf("splitting did not reduce the max cluster: %d vs %d",
+			withSplit.MaxCluster, noSplit.MaxCluster)
+	}
+	if noSplit.Splits != 0 {
+		t.Errorf("DisableSplitting still split %d times", noSplit.Splits)
+	}
+}
+
+func TestSchedulingPolicies(t *testing.T) {
+	b, raw := testData(t)
+	for _, sched := range []Scheduling{ScheduleLargestFirst, ScheduleFIFO} {
+		g, _ := Build(b.data, b.gf, Options{
+			K: 10, B: 256, T: 4, MaxClusterSize: 100,
+			Workers: 2, Seed: 11, Scheduling: sched,
+		})
+		if q := knng.Quality(g, b.exact, raw); q < 0.5 {
+			t.Errorf("scheduling %v: quality %.3f collapsed", sched, q)
+		}
+	}
+}
+
+func TestLocalSolverPolicies(t *testing.T) {
+	b, raw := testData(t)
+	qualities := map[LocalSolver]float64{}
+	for _, solver := range []LocalSolver{SolverHybrid, SolverBruteForce, SolverHyrec} {
+		g, stats := Build(b.data, b.gf, Options{
+			K: 10, B: 64, T: 4, MaxClusterSize: 2000, // large N keeps big clusters
+			Workers: 2, Seed: 13, LocalSolver: solver,
+		})
+		qualities[solver] = knng.Quality(g, b.exact, raw)
+		if solver == SolverBruteForce && stats.Hyreced != 0 {
+			t.Error("SolverBruteForce still used Hyrec")
+		}
+	}
+	for solver, q := range qualities {
+		if q < 0.5 {
+			t.Errorf("solver %v: quality %.3f collapsed", solver, q)
+		}
+	}
+}
+
+func TestUseMinHashVariant(t *testing.T) {
+	b, raw := testData(t)
+	g, stats := Build(b.data, b.gf, Options{K: 10, T: 6, UseMinHash: true, Workers: 2, Seed: 15})
+	if stats.Splits != 0 {
+		t.Error("MinHash variant must not split")
+	}
+	if q := knng.Quality(g, b.exact, raw); q < 0.5 {
+		t.Errorf("MinHash variant quality %.3f collapsed", q)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	b, _ := testData(t)
+	opts := Options{K: 10, B: 128, T: 4, MaxClusterSize: 100, Workers: 3, Seed: 17}
+	g1, s1 := Build(b.data, b.gf, opts)
+	g2, s2 := Build(b.data, b.gf, opts)
+	if s1.Clusters != s2.Clusters || s1.Splits != s2.Splits {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	for u := 0; u < g1.NumUsers(); u++ {
+		a, c := g1.Neighbors(int32(u)), g2.Neighbors(int32(u))
+		if len(a) != len(c) {
+			t.Fatalf("user %d: neighbor counts differ", u)
+		}
+		for i := range a {
+			if a[i].Sim != c[i].Sim {
+				t.Fatalf("user %d: sims differ across identical runs", u)
+			}
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SolverHybrid.String() != "hybrid" || SolverBruteForce.String() != "bruteforce" || SolverHyrec.String() != "hyrec" {
+		t.Error("LocalSolver.String broken")
+	}
+	if LocalSolver(99).String() == "" {
+		t.Error("unknown solver should still render")
+	}
+	if ScheduleLargestFirst.String() != "largest-first" || ScheduleFIFO.String() != "fifo" {
+		t.Error("Scheduling.String broken")
+	}
+}
+
+func TestUseHyrecSwitch(t *testing.T) {
+	o := Options{}
+	o.setDefaults()
+	if useHyrec(o, o.K+1) {
+		t.Error("tiny cluster should brute force")
+	}
+	if useHyrec(o, o.Rho*o.K*o.K-1) {
+		t.Error("below ρk² should brute force")
+	}
+	if !useHyrec(o, o.Rho*o.K*o.K) {
+		t.Error("at ρk² should use Hyrec")
+	}
+}
+
+func BenchmarkBuildC2Small(b *testing.B) {
+	bundle := loadBundle()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(bundle.data, bundle.gf, Options{K: 10, B: 256, T: 8, MaxClusterSize: 100, Workers: 2, Seed: 3})
+	}
+}

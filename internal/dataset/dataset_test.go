@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"c2knn/internal/sets"
+)
+
+func ratingsFixture() []Rating {
+	return []Rating{
+		{User: 0, Item: 0, Value: 5},
+		{User: 0, Item: 1, Value: 2}, // filtered: not positive
+		{User: 0, Item: 2, Value: 4},
+		{User: 1, Item: 2, Value: 5},
+		{User: 1, Item: 2, Value: 5}, // duplicate association
+		{User: 1, Item: 3, Value: 4},
+		{User: 2, Item: 1, Value: 1}, // user 2 ends up empty
+		{User: 4, Item: 0, Value: 5}, // user 3 has no ratings at all
+	}
+}
+
+func TestFromRatingsBinarization(t *testing.T) {
+	d := FromRatings("fix", ratingsFixture(), Options{PositiveThreshold: 3, KeepItemUniverse: true})
+	if got := d.NumUsers(); got != 3 {
+		t.Fatalf("NumUsers = %d, want 3 (users 0, 1 and 4 survive)", got)
+	}
+	if !sets.Equal(d.Profiles[0], []int32{0, 2}) {
+		t.Errorf("profile 0 = %v, want [0 2]", d.Profiles[0])
+	}
+	if !sets.Equal(d.Profiles[1], []int32{2, 3}) {
+		t.Errorf("profile 1 = %v, want [2 3] (duplicate collapsed)", d.Profiles[1])
+	}
+	if !sets.Equal(d.Profiles[2], []int32{0}) {
+		t.Errorf("profile 2 = %v, want [0]", d.Profiles[2])
+	}
+	if d.NumItems != 4 {
+		t.Errorf("NumItems = %d, want 4 (universe preserved)", d.NumItems)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestFromRatingsMinProfile(t *testing.T) {
+	d := FromRatings("fix", ratingsFixture(), Options{PositiveThreshold: 3, MinProfile: 2})
+	if got := d.NumUsers(); got != 2 {
+		t.Fatalf("NumUsers = %d, want 2 (singleton profile dropped)", got)
+	}
+}
+
+func TestFromRatingsCompactsItems(t *testing.T) {
+	d := FromRatings("fix", []Rating{
+		{User: 0, Item: 100, Value: 5},
+		{User: 0, Item: 900, Value: 5},
+	}, Options{})
+	if d.NumItems != 2 {
+		t.Errorf("NumItems = %d, want 2 after compaction", d.NumItems)
+	}
+	if !sets.Equal(d.Profiles[0], []int32{0, 1}) {
+		t.Errorf("profile = %v, want [0 1]", d.Profiles[0])
+	}
+}
+
+func TestNewNormalizesProfiles(t *testing.T) {
+	d := New("n", [][]int32{{3, 1, 3, 2}}, 0)
+	if !sets.Equal(d.Profiles[0], []int32{1, 2, 3}) {
+		t.Errorf("profile = %v, want [1 2 3]", d.Profiles[0])
+	}
+	if d.NumItems != 4 {
+		t.Errorf("NumItems = %d, want 4 (inferred max+1)", d.NumItems)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := New("v", [][]int32{{1, 2}}, 5)
+	d.Profiles[0] = []int32{2, 1} // corrupt ordering behind Validate's back
+	if err := d.Validate(); err == nil {
+		t.Error("Validate should reject unsorted profile")
+	}
+	d2 := New("v2", [][]int32{{1, 2}}, 5)
+	d2.Profiles[0] = []int32{1, 9} // out of universe
+	if err := d2.Validate(); err == nil {
+		t.Error("Validate should reject out-of-range item")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := New("c", [][]int32{{1, 2}, {3}}, 5)
+	c := d.Clone()
+	c.Profiles[0][0] = 99
+	if d.Profiles[0][0] == 99 {
+		t.Error("Clone shares profile storage with the original")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := New("s", [][]int32{{0, 1, 2}, {1, 2}, {2}}, 4)
+	st := d.ComputeStats()
+	if st.Users != 3 || st.Items != 4 || st.Ratings != 6 {
+		t.Errorf("stats basic counts wrong: %+v", st)
+	}
+	if st.AvgUser != 2.0 {
+		t.Errorf("AvgUser = %v, want 2", st.AvgUser)
+	}
+	if st.UsedItem != 3 {
+		t.Errorf("UsedItem = %v, want 3 (item 3 unused)", st.UsedItem)
+	}
+	if st.AvgItem != 2.0 {
+		t.Errorf("AvgItem = %v, want 2 (6 ratings / 3 used items)", st.AvgItem)
+	}
+	if st.MaxUser != 3 {
+		t.Errorf("MaxUser = %v, want 3", st.MaxUser)
+	}
+	wantDensity := 6.0 / 12.0
+	if st.Density != wantDensity {
+		t.Errorf("Density = %v, want %v", st.Density, wantDensity)
+	}
+	if st.String() == "" {
+		t.Error("Stats.String is empty")
+	}
+}
+
+func TestItemPopularity(t *testing.T) {
+	d := New("p", [][]int32{{0, 1}, {1}}, 3)
+	pop := d.ItemPopularity()
+	want := []int{1, 2, 0}
+	for i := range want {
+		if pop[i] != want[i] {
+			t.Errorf("pop[%d] = %d, want %d", i, pop[i], want[i])
+		}
+	}
+}
+
+// TestFromRatingsAlwaysValid: whatever raw ratings come in, the resulting
+// dataset satisfies its invariants.
+func TestFromRatingsAlwaysValid(t *testing.T) {
+	f := func(raw []struct {
+		U, I uint8
+		V    float64
+	}) bool {
+		ratings := make([]Rating, len(raw))
+		for i, r := range raw {
+			ratings[i] = Rating{User: int32(r.U), Item: int32(r.I), Value: r.V}
+		}
+		d := FromRatings("q", ratings, Options{PositiveThreshold: 0.5})
+		return d.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is line oriented:
+//
+//	# optional comment lines
+//	@items <numItems>
+//	<item> <item> <item> ...        (one line per user, may be empty)
+//
+// Item ids are base-10. The "@items" header is optional; without it the
+// universe size is inferred from the largest id seen.
+
+// Write serializes d to w in the plain-text profile format.
+func Write(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dataset %s\n@items %d\n", d.Name, d.NumItems); err != nil {
+		return err
+	}
+	for _, p := range d.Profiles {
+		for i, it := range p {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatInt(int64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the plain-text profile format. name is used when the stream
+// carries no "# dataset" comment.
+func Read(r io.Reader, name string) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var profiles [][]int32
+	var numItems int32
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "# dataset "):
+			name = strings.TrimSpace(strings.TrimPrefix(line, "# dataset "))
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue
+		case strings.HasPrefix(line, "@items "):
+			v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(line, "@items ")), 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad @items header: %v", lineNo, err)
+			}
+			numItems = int32(v)
+			continue
+		}
+		fields := strings.Fields(line)
+		p := make([]int32, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.ParseInt(f, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad item id %q: %v", lineNo, f, err)
+			}
+			p = append(p, int32(v))
+		}
+		profiles = append(profiles, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	d := New(name, profiles, numItems)
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// WriteFile writes d to path, creating or truncating it.
+func WriteFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a dataset from path; the file's base name (sans
+// extension) becomes the default dataset name.
+func ReadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.LastIndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	return Read(f, name)
+}

@@ -1,0 +1,102 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := New("round", [][]int32{{0, 2, 5}, {}, {1}}, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf, "fallback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "round" {
+		t.Errorf("name = %q, want %q (from the header comment)", got.Name, "round")
+	}
+	if got.NumItems != 10 {
+		t.Errorf("NumItems = %d, want 10", got.NumItems)
+	}
+	if got.NumUsers() != 3 {
+		t.Fatalf("NumUsers = %d, want 3", got.NumUsers())
+	}
+	for u := range d.Profiles {
+		if len(got.Profiles[u]) != len(d.Profiles[u]) {
+			t.Errorf("profile %d length mismatch", u)
+		}
+		for i := range d.Profiles[u] {
+			if got.Profiles[u][i] != d.Profiles[u][i] {
+				t.Errorf("profile %d item %d mismatch", u, i)
+			}
+		}
+	}
+}
+
+func TestReadWithoutHeader(t *testing.T) {
+	in := "1 2 3\n\n5\n"
+	d, err := Read(strings.NewReader(in), "bare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "bare" {
+		t.Errorf("name = %q, want bare", d.Name)
+	}
+	if d.NumItems != 6 {
+		t.Errorf("NumItems = %d, want 6 (inferred)", d.NumItems)
+	}
+	if d.NumUsers() != 3 {
+		t.Errorf("NumUsers = %d, want 3 (middle user empty)", d.NumUsers())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"1 banana 3\n",
+		"@items notanumber\n",
+		"99999999999999999999\n", // overflows int32
+	}
+	for _, in := range cases {
+		if _, err := Read(strings.NewReader(in), "bad"); err == nil {
+			t.Errorf("Read(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	in := "# a comment\n# dataset named\n1 2\n"
+	d, err := Read(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "named" {
+		t.Errorf("name = %q, want named", d.Name)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.txt")
+	d := New("tiny", [][]int32{{1, 2}, {0}}, 3)
+	if err := WriteFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumUsers() != 2 || got.NumItems != 3 {
+		t.Errorf("round trip mismatch: %d users %d items", got.NumUsers(), got.NumItems)
+	}
+}
+
+func TestReadFileMissing(t *testing.T) {
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.txt")); err == nil {
+		t.Error("ReadFile on a missing path should fail")
+	}
+}

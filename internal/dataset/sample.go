@@ -1,0 +1,30 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"c2knn/internal/sets"
+)
+
+// SampleProfiles returns a copy of d in which every profile larger than
+// maxSize is reduced to a uniform random sample of maxSize items. This is
+// the profile-sampling speed-up of Kermarrec, Ruas and Taïani ("Nobody
+// cares if you liked Star Wars: KNN graph construction on the cheap",
+// Euro-Par 2018), cited by the paper as a related compaction technique:
+// capping profiles bounds the cost of every Jaccard evaluation at a small
+// accuracy cost. maxSize ≤ 0 returns an unmodified deep copy.
+func (d *Dataset) SampleProfiles(maxSize int, seed int64) *Dataset {
+	out := d.Clone()
+	if maxSize <= 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for u, p := range out.Profiles {
+		if len(p) <= maxSize {
+			continue
+		}
+		rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+		out.Profiles[u] = sets.Normalize(p[:maxSize])
+	}
+	return out
+}

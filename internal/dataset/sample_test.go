@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"testing"
+
+	"c2knn/internal/sets"
+)
+
+func TestSampleProfilesCapsSizes(t *testing.T) {
+	d := New("s", [][]int32{
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{0, 1},
+		{},
+	}, 8)
+	s := d.SampleProfiles(3, 1)
+	if len(s.Profiles[0]) != 3 {
+		t.Errorf("profile 0 sampled to %d items, want 3", len(s.Profiles[0]))
+	}
+	if len(s.Profiles[1]) != 2 || len(s.Profiles[2]) != 0 {
+		t.Error("small profiles must be untouched")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("sampled dataset invalid: %v", err)
+	}
+	// Sampled items must come from the original profile.
+	for _, it := range s.Profiles[0] {
+		if !sets.Contains(d.Profiles[0], it) {
+			t.Errorf("sampled item %d not in the original profile", it)
+		}
+	}
+	// The original dataset is untouched.
+	if len(d.Profiles[0]) != 8 {
+		t.Error("SampleProfiles mutated its receiver")
+	}
+}
+
+func TestSampleProfilesDeterministic(t *testing.T) {
+	d := New("s", [][]int32{{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}, 10)
+	a := d.SampleProfiles(4, 7)
+	b := d.SampleProfiles(4, 7)
+	if !sets.Equal(a.Profiles[0], b.Profiles[0]) {
+		t.Error("sampling not deterministic for equal seeds")
+	}
+}
+
+func TestSampleProfilesNoCap(t *testing.T) {
+	d := New("s", [][]int32{{0, 1, 2}}, 3)
+	s := d.SampleProfiles(0, 1)
+	if !sets.Equal(s.Profiles[0], d.Profiles[0]) {
+		t.Error("maxSize ≤ 0 should deep-copy unchanged")
+	}
+}

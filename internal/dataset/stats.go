@@ -1,0 +1,50 @@
+package dataset
+
+import "fmt"
+
+// Stats gathers the per-dataset statistics reported in Table I of the
+// paper.
+type Stats struct {
+	Name     string
+	Users    int
+	Items    int // size of the item universe |I|
+	Ratings  int
+	AvgUser  float64 // mean |P_u|
+	AvgItem  float64 // mean |P_i| over items that occur at least once
+	Density  float64 // Ratings / (Users × Items)
+	MaxUser  int     // largest profile
+	UsedItem int     // items occurring in at least one profile
+}
+
+// ComputeStats derives Table I-style statistics for d.
+func (d *Dataset) ComputeStats() Stats {
+	s := Stats{Name: d.Name, Users: d.NumUsers(), Items: int(d.NumItems)}
+	pop := d.ItemPopularity()
+	for _, p := range d.Profiles {
+		s.Ratings += len(p)
+		if len(p) > s.MaxUser {
+			s.MaxUser = len(p)
+		}
+	}
+	for _, c := range pop {
+		if c > 0 {
+			s.UsedItem++
+		}
+	}
+	if s.Users > 0 {
+		s.AvgUser = float64(s.Ratings) / float64(s.Users)
+	}
+	if s.UsedItem > 0 {
+		s.AvgItem = float64(s.Ratings) / float64(s.UsedItem)
+	}
+	if s.Users > 0 && s.Items > 0 {
+		s.Density = float64(s.Ratings) / (float64(s.Users) * float64(s.Items))
+	}
+	return s
+}
+
+// String renders the stats as one aligned row (Table I layout).
+func (s Stats) String() string {
+	return fmt.Sprintf("%-8s users=%-7d items=%-7d ratings=%-9d |Pu|=%-7.2f |Pi|=%-7.2f density=%.3f%%",
+		s.Name, s.Users, s.Items, s.Ratings, s.AvgUser, s.AvgItem, 100*s.Density)
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"time"
+
+	"c2knn/internal/core"
+	"c2knn/internal/frh"
+	"c2knn/internal/knng"
+)
+
+// Fig6Row is one point of the Fig. 6 time×quality trade-off: a (b, t)
+// configuration of C².
+type Fig6Row struct {
+	Dataset string
+	B       int
+	T       int
+	Time    time.Duration
+	Quality float64
+}
+
+// Fig6 reproduces the hash-function/cluster-count sensitivity analysis
+// (§VI-A, Fig. 6): C² is run for b ∈ {512, 2048, 8192} and
+// t ∈ {1, 2, 4, 8, 10} on ml10M and AM; each (b, t) point reports
+// computation time and KNN quality. The expected shape: t trades time for
+// quality with diminishing returns beyond 8, while larger b improves
+// both.
+func (e *Env) Fig6() ([]Fig6Row, error) {
+	e.setDefaults()
+	e.printf("Fig 6: effect of t and b on C2 (scale %.3g)\n", e.Scale)
+	bs := []int{512, 2048, 8192}
+	ts := []int{1, 2, 4, 8, 10}
+	var rows []Fig6Row
+	for _, name := range SensitivityDatasets() {
+		p, err := e.Prepare(name)
+		if err != nil {
+			return nil, err
+		}
+		exact := p.Exact()
+		for _, b := range bs {
+			for _, t := range ts {
+				start := time.Now()
+				g, _ := core.Build(p.Data, p.GF, core.Options{
+					K: e.K, B: b, T: t, MaxClusterSize: e.ScaledN(2000),
+					Workers: e.Workers, Seed: e.Seed,
+				})
+				row := Fig6Row{
+					Dataset: name, B: b, T: t,
+					Time:    time.Since(start),
+					Quality: knng.Quality(g, exact, p.Raw),
+				}
+				rows = append(rows, row)
+				e.printf("  %-6s b=%-5d t=%-3d time=%-12v quality=%.3f\n",
+					name, b, t, row.Time.Round(time.Millisecond), row.Quality)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig7Row is one point of the Fig. 7 N sweep on ml10M.
+type Fig7Row struct {
+	Dataset string
+	N       int // paper-scale threshold; the run uses ScaledN(N)
+	Time    time.Duration
+	Quality float64
+}
+
+// Fig7 reproduces the maximum-cluster-size sensitivity analysis (§VI-B,
+// Fig. 7): C² on ml10M for N from 500 to 10000 (scaled with the dataset).
+// Expected shape: larger N trades time for quality with a knee around
+// N=3000; AM is insensitive (its raw clusters never exceed N), which
+// Fig8 demonstrates via the cluster-size distributions.
+func (e *Env) Fig7() ([]Fig7Row, error) {
+	e.setDefaults()
+	e.printf("Fig 7: effect of max cluster size N on C2/ml10M (scale %.3g)\n", e.Scale)
+	p, err := e.Prepare("ml10M")
+	if err != nil {
+		return nil, err
+	}
+	exact := p.Exact()
+	var rows []Fig7Row
+	for _, n := range []int{500, 1000, 3000, 5000, 7500, 10000} {
+		start := time.Now()
+		g, _ := core.Build(p.Data, p.GF, core.Options{
+			K: e.K, B: 4096, T: 8, MaxClusterSize: e.ScaledN(n),
+			Workers: e.Workers, Seed: e.Seed,
+		})
+		row := Fig7Row{
+			Dataset: "ml10M", N: n,
+			Time:    time.Since(start),
+			Quality: knng.Quality(g, exact, p.Raw),
+		}
+		rows = append(rows, row)
+		e.printf("  N=%-6d (effective %-5d) time=%-12v quality=%.3f\n",
+			n, e.ScaledN(n), row.Time.Round(time.Millisecond), row.Quality)
+	}
+	return rows, nil
+}
+
+// Fig8Row reports the sizes of the biggest clusters of one dataset under
+// one splitting threshold.
+type Fig8Row struct {
+	Dataset string
+	N       int   // paper-scale threshold (0 = splitting disabled)
+	Top     []int // decreasing sizes of the biggest clusters
+}
+
+// Fig8 reproduces the cluster-size distributions (§VI-B, Fig. 8): the 100
+// biggest FastRandomHash clusters of ml10M and AM for N from 500 to
+// 10000, plus the raw (unsplit) distribution. Expected shape: ml10M's raw
+// clusters are strongly unbalanced and capped near N once splitting is
+// on; AM's biggest raw cluster is already small so N has no effect.
+func (e *Env) Fig8() ([]Fig8Row, error) {
+	e.setDefaults()
+	e.printf("Fig 8: biggest clusters per N (scale %.3g)\n", e.Scale)
+	const top = 100
+	var rows []Fig8Row
+	for _, name := range SensitivityDatasets() {
+		p, err := e.Prepare(name)
+		if err != nil {
+			return nil, err
+		}
+		h := frh.NewHasher(p.Data.NumItems, frh.Options{B: 4096, T: 8, Seed: e.Seed})
+		for _, n := range []int{0, 500, 1000, 2500, 5000, 7500, 10000} {
+			opts := frh.Options{B: 4096, T: 8, Seed: e.Seed}
+			if n == 0 {
+				opts.MaxSize = -1 // raw clustering
+			} else {
+				opts.MaxSize = e.ScaledN(n)
+			}
+			clusters, _ := frh.BuildWithHasher(p.Data, h, opts)
+			row := Fig8Row{Dataset: name, N: n, Top: frh.TopSizes(clusters, top)}
+			rows = append(rows, row)
+			label := "raw"
+			if n > 0 {
+				label = ""
+			}
+			e.printf("  %-6s N=%-6d %-4s biggest=%v\n", name, n, label, head(row.Top, 8))
+		}
+	}
+	return rows, nil
+}
+
+// head returns the first n elements of s (or all of them).
+func head(s []int, n int) []int {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
+}

@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"c2knn/internal/bruteforce"
+	"c2knn/internal/dataset"
+	"c2knn/internal/goldfinger"
+	"c2knn/internal/knng"
+	"c2knn/internal/similarity"
+)
+
+// bruteForceGraph builds the exact graph of an arbitrary dataset (used by
+// the cross-validation folds, which cannot reuse the Prepared cache since
+// every fold has different training profiles).
+func bruteForceGraph(e *Env, d *dataset.Dataset, p similarity.Provider) *knng.Graph {
+	return bruteforce.Build(d.NumUsers(), e.K, p, e.Workers)
+}
+
+// newGoldFinger isolates the goldfinger dependency so tables.go reads at
+// the level of the experiment.
+func newGoldFinger(d *dataset.Dataset, bits int, seed uint32) (*goldfinger.Set, error) {
+	return goldfinger.New(d, bits, seed)
+}

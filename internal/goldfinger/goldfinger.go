@@ -1,0 +1,103 @@
+// Package goldfinger implements the GoldFinger compact profile summaries
+// of Guerraoui, Kermarrec, Ruas and Taïani ("Fingerprinting big data: the
+// case of KNN graph construction", ICDE 2019), which the paper uses to
+// accelerate Jaccard computations in every algorithm it evaluates (§II-F,
+// §IV-C). A profile P_u is summarized into a B-bit vector whose bit
+// h(i) mod B is set for every item i ∈ P_u; the Jaccard similarity of two
+// users is then estimated as popcount(S_u AND S_v) / popcount(S_u OR S_v).
+package goldfinger
+
+import (
+	"fmt"
+	"math/bits"
+
+	"c2knn/internal/dataset"
+	"c2knn/internal/jenkins"
+)
+
+// Set holds the fingerprints of every user of a dataset, flattened into a
+// single []uint64 for cache friendliness. It implements
+// similarity.Provider.
+type Set struct {
+	bits  int
+	words int
+	sigs  []uint64 // len = numUsers × words
+	n     int
+}
+
+// DefaultBits is the fingerprint width used throughout the paper's
+// evaluation (1024-bit vectors, §IV-C).
+const DefaultBits = 1024
+
+// New builds B-bit fingerprints for every profile of d. bits must be a
+// positive multiple of 64 (the paper sweeps 64 to 8096; we accept any
+// multiple of 64). seed selects the item-hash function.
+func New(d *dataset.Dataset, bitsN int, seed uint32) (*Set, error) {
+	if bitsN <= 0 || bitsN%64 != 0 {
+		return nil, fmt.Errorf("goldfinger: bits must be a positive multiple of 64, got %d", bitsN)
+	}
+	words := bitsN / 64
+	s := &Set{bits: bitsN, words: words, n: d.NumUsers(), sigs: make([]uint64, d.NumUsers()*words)}
+	// Precompute the bit position of every item once; profiles reference
+	// items many times across users.
+	pos := make([]uint32, d.NumItems)
+	for i := range pos {
+		pos[i] = jenkins.Hash32(uint32(i), seed) % uint32(bitsN)
+	}
+	for u, p := range d.Profiles {
+		sig := s.sigs[u*words : (u+1)*words]
+		for _, it := range p {
+			b := pos[it]
+			sig[b>>6] |= 1 << (b & 63)
+		}
+	}
+	return s, nil
+}
+
+// MustNew is New, panicking on invalid width; for tests and examples.
+func MustNew(d *dataset.Dataset, bitsN int, seed uint32) *Set {
+	s, err := New(d, bitsN, seed)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Bits returns the fingerprint width in bits.
+func (s *Set) Bits() int { return s.bits }
+
+// NumUsers returns the number of fingerprints held.
+func (s *Set) NumUsers() int { return s.n }
+
+// Signature returns user u's fingerprint words. The returned slice aliases
+// internal storage and must not be mutated.
+func (s *Set) Signature(u int32) []uint64 {
+	return s.sigs[int(u)*s.words : (int(u)+1)*s.words]
+}
+
+// Sim estimates the Jaccard similarity of users u and v from their
+// fingerprints. It implements similarity.Provider.
+func (s *Set) Sim(u, v int32) float64 {
+	a := s.sigs[int(u)*s.words : (int(u)+1)*s.words]
+	b := s.sigs[int(v)*s.words : (int(v)+1)*s.words]
+	var inter, union int
+	for i := range a {
+		inter += bits.OnesCount64(a[i] & b[i])
+		union += bits.OnesCount64(a[i] | b[i])
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Ones returns the popcount of user u's fingerprint; useful to gauge
+// saturation (estimates degrade as fingerprints fill up).
+func (s *Set) Ones(u int32) int {
+	sig := s.Signature(u)
+	n := 0
+	for _, w := range sig {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}

@@ -1,0 +1,187 @@
+package goldfinger
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"c2knn/internal/dataset"
+	"c2knn/internal/sets"
+	"c2knn/internal/similarity"
+)
+
+func TestNewRejectsBadWidths(t *testing.T) {
+	d := dataset.New("x", [][]int32{{0}}, 1)
+	for _, bits := range []int{0, -64, 32, 100} {
+		if _, err := New(d, bits, 1); err == nil {
+			t.Errorf("New with bits=%d should fail", bits)
+		}
+	}
+	if _, err := New(d, 128, 1); err != nil {
+		t.Errorf("New with bits=128 failed: %v", err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid width")
+		}
+	}()
+	MustNew(dataset.New("x", [][]int32{{0}}, 1), 7, 1)
+}
+
+func TestIdenticalProfilesEstimateOne(t *testing.T) {
+	d := dataset.New("id", [][]int32{{1, 5, 9}, {1, 5, 9}}, 10)
+	s := MustNew(d, 256, 3)
+	if got := s.Sim(0, 1); got != 1 {
+		t.Errorf("identical profiles: estimate = %v, want 1", got)
+	}
+}
+
+func TestDisjointSmallProfiles(t *testing.T) {
+	// With profiles much smaller than the fingerprint width, disjoint
+	// profiles should estimate near 0 (collisions are rare).
+	d := dataset.New("dj", [][]int32{{1, 2, 3}, {100, 200, 300}}, 400)
+	s := MustNew(d, 1024, 3)
+	if got := s.Sim(0, 1); got > 0.4 {
+		t.Errorf("disjoint tiny profiles: estimate = %v, want ≈ 0", got)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	d := dataset.New("e", [][]int32{{}, {1}}, 2)
+	s := MustNew(d, 64, 3)
+	if got := s.Sim(0, 1); got != 0 {
+		t.Errorf("empty vs non-empty = %v, want 0", got)
+	}
+	if got := s.Sim(0, 0); got != 0 {
+		t.Errorf("empty vs empty = %v, want 0", got)
+	}
+	if s.Ones(0) != 0 {
+		t.Errorf("Ones(empty) = %d, want 0", s.Ones(0))
+	}
+}
+
+// TestEstimationAccuracy checks the estimator against exact Jaccard on
+// random profile pairs: with 1024-bit fingerprints and ≈100-item
+// profiles, the mean absolute error should be small (the property the
+// paper's §II-F relies on).
+func TestEstimationAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const users = 60
+	profiles := make([][]int32, users)
+	for i := range profiles {
+		p := make([]int32, 100)
+		base := rng.Intn(2000)
+		for j := range p {
+			// Overlapping windows create a range of true similarities.
+			p[j] = int32(base + rng.Intn(400))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("acc", profiles, 3000)
+	exact := similarity.NewJaccard(d)
+	gf := MustNew(d, 1024, 7)
+	var absErr float64
+	n := 0
+	for u := int32(0); u < users; u++ {
+		for v := u + 1; v < users; v++ {
+			absErr += math.Abs(gf.Sim(u, v) - exact.Sim(u, v))
+			n++
+		}
+	}
+	if mean := absErr / float64(n); mean > 0.05 {
+		t.Errorf("mean |estimate − exact| = %.4f, want ≤ 0.05", mean)
+	}
+}
+
+// TestEstimateProperties: symmetry, range, determinism as quick
+// properties.
+func TestEstimateProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	profiles := make([][]int32, 30)
+	for i := range profiles {
+		p := make([]int32, 1+rng.Intn(50))
+		for j := range p {
+			p[j] = int32(rng.Intn(500))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("pr", profiles, 500)
+	s := MustNew(d, 512, 5)
+	f := func(a, b uint8) bool {
+		u := int32(a) % 30
+		v := int32(b) % 30
+		x := s.Sim(u, v)
+		return x >= 0 && x <= 1 && x == s.Sim(v, u) && s.Sim(u, u) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWidthMonotonicity: wider fingerprints should not be (materially)
+// less accurate than narrow ones on the same data.
+func TestWidthMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	profiles := make([][]int32, 40)
+	for i := range profiles {
+		p := make([]int32, 80)
+		base := rng.Intn(1000)
+		for j := range p {
+			p[j] = int32(base + rng.Intn(300))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("w", profiles, 2000)
+	exact := similarity.NewJaccard(d)
+	err64 := meanAbsErr(t, d, exact, 64)
+	err4096 := meanAbsErr(t, d, exact, 4096)
+	if err4096 > err64+0.01 {
+		t.Errorf("4096-bit error %.4f exceeds 64-bit error %.4f", err4096, err64)
+	}
+}
+
+func meanAbsErr(t *testing.T, d *dataset.Dataset, exact similarity.Provider, bits int) float64 {
+	t.Helper()
+	gf := MustNew(d, bits, 7)
+	var sum float64
+	n := 0
+	for u := int32(0); u < int32(d.NumUsers()); u++ {
+		for v := u + 1; v < int32(d.NumUsers()); v++ {
+			sum += math.Abs(gf.Sim(u, v) - exact.Sim(u, v))
+			n++
+		}
+	}
+	return sum / float64(n)
+}
+
+func TestSignatureAliasesStorage(t *testing.T) {
+	d := dataset.New("sig", [][]int32{{0, 1}, {2}}, 3)
+	s := MustNew(d, 64, 3)
+	if len(s.Signature(0)) != 1 {
+		t.Errorf("signature word count = %d, want 1", len(s.Signature(0)))
+	}
+	if s.Bits() != 64 || s.NumUsers() != 2 {
+		t.Errorf("Bits/NumUsers = %d/%d, want 64/2", s.Bits(), s.NumUsers())
+	}
+}
+
+func BenchmarkSim1024(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	profiles := make([][]int32, 2)
+	for i := range profiles {
+		p := make([]int32, 90)
+		for j := range p {
+			p[j] = int32(rng.Intn(10000))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	s := MustNew(dataset.New("b", profiles, 10000), 1024, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sim(0, 1)
+	}
+}

@@ -1,0 +1,200 @@
+// Package hyrec implements Hyrec (Boutet et al., Middleware 2014), the
+// state-of-the-art greedy KNN-graph algorithm the paper uses both as a
+// standalone competitor and as Cluster-and-Conquer's local solver for
+// large clusters. Starting from a random k-degree graph, each iteration
+// compares every user u against its neighbors-of-neighbors and keeps the k
+// best; iteration stops when fewer than δ·k·n updates occur or after a
+// fixed number of iterations (§IV-B2).
+package hyrec
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"c2knn/internal/knng"
+	"c2knn/internal/similarity"
+)
+
+// Options parameterizes a Hyrec run. Zero fields take the paper's
+// defaults.
+type Options struct {
+	// K is the neighborhood size (default 30).
+	K int
+	// Delta is the termination threshold: stop when an iteration performs
+	// fewer than Delta·K·n updates (default 0.001).
+	Delta float64
+	// MaxIter caps the number of iterations (default 30, §IV-C).
+	MaxIter int
+	// Workers sizes the worker pool (default 1).
+	Workers int
+	// Seed drives the random initial graph.
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.K == 0 {
+		o.K = 30
+	}
+	if o.Delta == 0 {
+		o.Delta = 0.001
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 30
+	}
+	if o.Workers == 0 {
+		o.Workers = 1
+	}
+}
+
+// Result reports how a run unfolded.
+type Result struct {
+	// Iterations is the number of refinement passes executed.
+	Iterations int
+	// Updates records the number of neighborhood changes per iteration.
+	Updates []int
+	// Converged is true when the run stopped on the δ·k·n criterion
+	// rather than on MaxIter.
+	Converged bool
+}
+
+// Build constructs an approximate KNN graph over users 0..n-1.
+func Build(n int, p similarity.Provider, o Options) (*knng.Graph, Result) {
+	o.setDefaults()
+	g := knng.New(n, o.K)
+	knng.RandomInit(g, p, o.Seed)
+	res := refine(g, p, o)
+	return g, res
+}
+
+// Refine runs Hyrec's iteration on an already-initialized graph; C² does
+// not use this directly but it supports warm-started experiments.
+func Refine(g *knng.Graph, p similarity.Provider, o Options) Result {
+	o.setDefaults()
+	return refine(g, p, o)
+}
+
+// refine is the core loop shared by Build and Local. It uses the standard
+// new-flag optimization: a pair (u, w) reached through v is evaluated only
+// if the edge u→v or the edge v→w appeared during the previous iteration,
+// so converged regions stop paying for candidate generation.
+func refine(g *knng.Graph, p similarity.Provider, o Options) Result {
+	n := g.NumUsers()
+	res := Result{}
+	if n < 2 {
+		return res
+	}
+	threshold := int64(o.Delta * float64(o.K) * float64(n))
+	shared := knng.NewShared(g)
+	allSnap := make([][]int32, n)
+	newSnap := make([][]int32, n)
+	for iter := 0; iter < o.MaxIter; iter++ {
+		// Snapshot neighborhoods and consume the New flags set during the
+		// previous iteration.
+		for u := 0; u < n; u++ {
+			allSnap[u] = g.Lists[u].IDs(allSnap[u][:0])
+			newSnap[u] = g.Lists[u].ResetNew(newSnap[u][:0])
+		}
+		var updates atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < o.Workers; w++ {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				seen := make(map[int32]struct{}, o.K*o.K)
+				for u := start; u < n; u += o.Workers {
+					clear(seen)
+					uid := int32(u)
+					// Candidates through a fresh u→v edge: all of v's
+					// neighbors.
+					for _, v := range newSnap[u] {
+						for _, w2 := range allSnap[v] {
+							seen[w2] = struct{}{}
+						}
+					}
+					// Candidates through a stale u→v edge: only v's fresh
+					// neighbors.
+					for _, v := range allSnap[u] {
+						for _, w2 := range newSnap[v] {
+							seen[w2] = struct{}{}
+						}
+					}
+					for w2 := range seen {
+						// Skip self and anything already in u's snapshot;
+						// the snapshot is immutable during the iteration so
+						// this read is race-free (Insert re-checks under
+						// the stripe lock).
+						if w2 == uid || containsID(allSnap[u], w2) {
+							continue
+						}
+						s := p.Sim(uid, w2)
+						ok1 := shared.Insert(uid, w2, s)
+						ok2 := shared.Insert(w2, uid, s)
+						if ok1 {
+							updates.Add(1)
+						}
+						if ok2 {
+							updates.Add(1)
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		res.Iterations++
+		u := int(updates.Load())
+		res.Updates = append(res.Updates, u)
+		if int64(u) < threshold {
+			res.Converged = true
+			break
+		}
+	}
+	return res
+}
+
+func containsID(s []int32, v int32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Local runs Hyrec restricted to the users in ids: the candidate universe
+// is ids, similarities are evaluated through p on global ids, and the
+// returned lists (parallel to ids) reference global ids. This is C²'s
+// local solver for clusters at least ρ·k² strong.
+func Local(ids []int32, k int, p similarity.Provider, o Options) []knng.List {
+	o.K = k
+	o.Workers = 1
+	o.setDefaults()
+	sub := &subsetProvider{ids: ids, p: p}
+	g := knng.New(len(ids), k)
+	knng.RandomInit(g, sub, o.Seed)
+	refine(g, sub, o)
+	lists := make([]knng.List, len(ids))
+	for i := range lists {
+		lists[i].K = k
+		lists[i].H = append(lists[i].H, g.Lists[i].H...)
+		for j := range lists[i].H {
+			lists[i].H[j].ID = ids[lists[i].H[j].ID]
+		}
+	}
+	return lists
+}
+
+// subsetProvider exposes a cluster as a dense 0..len(ids)-1 population.
+type subsetProvider struct {
+	ids []int32
+	p   similarity.Provider
+}
+
+func (s *subsetProvider) Sim(u, v int32) float64 {
+	return s.p.Sim(s.ids[u], s.ids[v])
+}
+
+// SimBound returns the paper's bound on the number of similarities a
+// ρ-iteration Hyrec run computes on a population of size n: ρ·k²·n/2.
+func SimBound(n, k, rho int) int64 {
+	return int64(rho) * int64(k) * int64(k) * int64(n) / 2
+}

@@ -1,0 +1,178 @@
+package hyrec
+
+import (
+	"math"
+	"testing"
+
+	"c2knn/internal/bruteforce"
+	"c2knn/internal/knng"
+	"c2knn/internal/similarity"
+)
+
+// ringSim builds a smooth 1-D similarity landscape: users close on a ring
+// are similar. Greedy refinement should navigate it near-perfectly.
+func ringSim(n int) similarity.Provider {
+	return similarity.Func(func(u, v int32) float64 {
+		d := math.Abs(float64(u - v))
+		if d > float64(n)/2 {
+			d = float64(n) - d
+		}
+		return 1 / (1 + d)
+	})
+}
+
+func TestBuildConvergesOnRing(t *testing.T) {
+	const n, k = 300, 8
+	p := ringSim(n)
+	g, res := Build(n, p, Options{K: k, Seed: 1, Workers: 2})
+	exact := bruteforce.Build(n, k, p, 2)
+	q := knng.Quality(g, exact, p)
+	if q < 0.95 {
+		t.Errorf("quality on ring = %.3f, want ≥ 0.95 (converged greedy)", q)
+	}
+	if res.Iterations == 0 {
+		t.Error("no iterations recorded")
+	}
+	if len(res.Updates) != res.Iterations {
+		t.Errorf("updates len %d != iterations %d", len(res.Updates), res.Iterations)
+	}
+}
+
+func TestBuildBeatsRandomStart(t *testing.T) {
+	const n, k = 200, 5
+	p := ringSim(n)
+	random := knng.New(n, k)
+	knng.RandomInit(random, p, 1)
+	g, _ := Build(n, p, Options{K: k, Seed: 1})
+	if g.AvgStoredSim() <= random.AvgStoredSim() {
+		t.Errorf("refined avg sim %.4f not better than random %.4f",
+			g.AvgStoredSim(), random.AvgStoredSim())
+	}
+}
+
+func TestMaxIterRespected(t *testing.T) {
+	const n = 150
+	p := ringSim(n)
+	_, res := Build(n, p, Options{K: 5, MaxIter: 2, Seed: 1})
+	if res.Iterations > 2 {
+		t.Errorf("iterations = %d, want ≤ 2", res.Iterations)
+	}
+}
+
+func TestDeltaTermination(t *testing.T) {
+	const n = 150
+	p := ringSim(n)
+	// A huge delta makes the very first iteration "not enough updates".
+	_, res := Build(n, p, Options{K: 5, Delta: 1e9, Seed: 1})
+	if res.Iterations != 1 || !res.Converged {
+		t.Errorf("huge delta: iterations=%d converged=%v, want 1/true", res.Iterations, res.Converged)
+	}
+}
+
+func TestBuildDegenerate(t *testing.T) {
+	p := ringSim(3)
+	g, _ := Build(0, p, Options{K: 3})
+	if g.NumUsers() != 0 {
+		t.Error("empty population mishandled")
+	}
+	g, _ = Build(1, p, Options{K: 3})
+	if g.Lists[0].Len() != 0 {
+		t.Error("singleton population should have no edges")
+	}
+	g, _ = Build(3, p, Options{K: 5, Seed: 1})
+	for u := 0; u < 3; u++ {
+		if g.Lists[u].Len() != 2 {
+			t.Errorf("user %d degree %d, want 2", u, g.Lists[u].Len())
+		}
+	}
+}
+
+func TestLocalOperatesOnGlobalIDs(t *testing.T) {
+	// A cluster of users scattered over a large id space.
+	ids := []int32{1000, 1003, 1006, 1009, 1012, 1015, 1018, 1021}
+	p := similarity.Func(func(u, v int32) float64 {
+		d := math.Abs(float64(u - v))
+		return 1 / (1 + d)
+	})
+	lists := Local(ids, 3, p, Options{Seed: 2})
+	if len(lists) != len(ids) {
+		t.Fatalf("got %d lists", len(lists))
+	}
+	valid := make(map[int32]bool)
+	for _, id := range ids {
+		valid[id] = true
+	}
+	for i, l := range lists {
+		for _, nb := range l.H {
+			if !valid[nb.ID] {
+				t.Fatalf("list %d holds non-cluster id %d", i, nb.ID)
+			}
+			if nb.ID == ids[i] {
+				t.Fatalf("list %d holds self", i)
+			}
+			if want := p.Sim(ids[i], nb.ID); nb.Sim != want {
+				t.Errorf("list %d: sim %v, want %v", i, nb.Sim, want)
+			}
+		}
+	}
+}
+
+// TestLocalSmallClusterExact: on a cluster comfortably covered by the
+// iteration budget, Local should essentially match brute force.
+func TestLocalSmallClusterExact(t *testing.T) {
+	ids := make([]int32, 60)
+	for i := range ids {
+		ids[i] = int32(i * 7)
+	}
+	p := similarity.Func(func(u, v int32) float64 {
+		d := math.Abs(float64(u - v))
+		return 1 / (1 + d/7)
+	})
+	got := Local(ids, 5, p, Options{Seed: 3})
+	want := bruteforce.Local(ids, 5, p)
+	match, total := 0, 0
+	for i := range ids {
+		wantSet := make(map[int32]bool)
+		for _, nb := range want[i].H {
+			wantSet[nb.ID] = true
+		}
+		for _, nb := range got[i].H {
+			total++
+			if wantSet[nb.ID] {
+				match++
+			}
+		}
+	}
+	if rate := float64(match) / float64(total); rate < 0.9 {
+		t.Errorf("local hyrec matches brute force on %.2f of edges, want ≥ 0.9", rate)
+	}
+}
+
+func TestWorkerCountStability(t *testing.T) {
+	// Different worker counts may produce slightly different graphs (ties,
+	// iteration interleaving) but quality must stay equivalent.
+	const n, k = 250, 6
+	p := ringSim(n)
+	exact := bruteforce.Build(n, k, p, 2)
+	g1, _ := Build(n, p, Options{K: k, Seed: 4, Workers: 1})
+	g4, _ := Build(n, p, Options{K: k, Seed: 4, Workers: 4})
+	q1 := knng.Quality(g1, exact, p)
+	q4 := knng.Quality(g4, exact, p)
+	if math.Abs(q1-q4) > 0.05 {
+		t.Errorf("quality varies too much with workers: %.3f vs %.3f", q1, q4)
+	}
+}
+
+func TestSimBound(t *testing.T) {
+	if got := SimBound(100, 30, 5); got != 5*30*30*100/2 {
+		t.Errorf("SimBound = %d", got)
+	}
+}
+
+func BenchmarkBuildRing500(b *testing.B) {
+	p := ringSim(500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(500, p, Options{K: 10, Seed: 1, Workers: 2})
+	}
+}

@@ -1,0 +1,174 @@
+package knng
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"c2knn/internal/similarity"
+)
+
+// Graph is a directed KNN graph: one bounded best-k List per user.
+type Graph struct {
+	K     int
+	Lists []List
+}
+
+// New returns an empty graph over n users with neighborhoods of size k.
+func New(n, k int) *Graph {
+	g := &Graph{K: k, Lists: make([]List, n)}
+	for i := range g.Lists {
+		g.Lists[i].K = k
+	}
+	return g
+}
+
+// NumUsers returns the number of users the graph is defined over.
+func (g *Graph) NumUsers() int { return len(g.Lists) }
+
+// Insert offers the directed edge (u → v, sim) and reports whether u's
+// neighborhood changed. Self edges are ignored.
+func (g *Graph) Insert(u, v int32, sim float64) bool {
+	if u == v {
+		return false
+	}
+	return g.Lists[u].Insert(v, sim)
+}
+
+// Neighbors returns u's current neighbors sorted by decreasing similarity.
+// The result is freshly allocated.
+func (g *Graph) Neighbors(u int32) []Neighbor {
+	l := g.Lists[u]
+	out := make([]Neighbor, len(l.H))
+	copy(out, l.H)
+	sort.Slice(out, func(i, j int) bool { return out[i].Sim > out[j].Sim })
+	return out
+}
+
+// RandomInit connects every user to k distinct random peers, computing the
+// corresponding similarities with p. This is the random starting
+// configuration of the greedy algorithms (§II-B); the paper's C²
+// contribution is precisely about replacing it with a cluster-aware one.
+func RandomInit(g *Graph, p similarity.Provider, seed int64) {
+	n := int32(g.NumUsers())
+	rng := rand.New(rand.NewSource(seed))
+	for u := int32(0); u < n; u++ {
+		for g.Lists[u].Len() < g.K && g.Lists[u].Len() < int(n)-1 {
+			v := int32(rng.Intn(int(n)))
+			if v == u || g.Lists[u].Contains(v) {
+				continue
+			}
+			g.Insert(u, v, p.Sim(u, v))
+		}
+	}
+}
+
+// AvgSim recomputes every stored edge's similarity with p and returns the
+// average over k×n edge slots (Eq. 1 of the paper: absent edges count as
+// zero). Passing the exact raw-profile metric here yields the paper's
+// quality numerator even for graphs built on GoldFinger estimates.
+func (g *Graph) AvgSim(p similarity.Provider) float64 {
+	if g.NumUsers() == 0 || g.K == 0 {
+		return 0
+	}
+	total := 0.0
+	for u := range g.Lists {
+		for _, nb := range g.Lists[u].H {
+			total += p.Sim(int32(u), nb.ID)
+		}
+	}
+	return total / float64(g.K*g.NumUsers())
+}
+
+// AvgStoredSim averages the similarities recorded on the edges themselves
+// (whatever metric built the graph), again over k×n slots.
+func (g *Graph) AvgStoredSim() float64 {
+	if g.NumUsers() == 0 || g.K == 0 {
+		return 0
+	}
+	total := 0.0
+	for u := range g.Lists {
+		total += g.Lists[u].SumSim()
+	}
+	return total / float64(g.K*g.NumUsers())
+}
+
+// Quality returns avg_sim(approx)/avg_sim(exact), both recomputed with p
+// (Eq. 2 of the paper). A value close to 1 means the approximate graph can
+// stand in for the exact one.
+func Quality(approx, exact *Graph, p similarity.Provider) float64 {
+	denom := exact.AvgSim(p)
+	if denom == 0 {
+		return 0
+	}
+	return approx.AvgSim(p) / denom
+}
+
+// Recall returns the average fraction of exact KNN edges recovered by
+// approx — a stricter metric than Quality, reported as a supplementary
+// diagnostic by the harness.
+func Recall(approx, exact *Graph) float64 {
+	if approx.NumUsers() == 0 {
+		return 0
+	}
+	total := 0.0
+	counted := 0
+	for u := range exact.Lists {
+		el := &exact.Lists[u]
+		if el.Len() == 0 {
+			continue
+		}
+		hits := 0
+		for _, nb := range el.H {
+			if approx.Lists[u].Contains(nb.ID) {
+				hits++
+			}
+		}
+		total += float64(hits) / float64(el.Len())
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// Shared wraps a Graph with striped per-user locking so independent
+// workers can merge partial results concurrently (C² step 3: merging is
+// "performed at the granularity of individual users").
+type Shared struct {
+	g  *Graph
+	mu []sync.Mutex
+}
+
+// NewShared wraps g. The stripe count bounds contention; 256 stripes keep
+// the memory cost negligible while making collisions rare for the worker
+// counts involved.
+func NewShared(g *Graph) *Shared {
+	return &Shared{g: g, mu: make([]sync.Mutex, 256)}
+}
+
+// Insert offers (u → v, sim) under u's stripe lock.
+func (s *Shared) Insert(u, v int32, sim float64) bool {
+	m := &s.mu[int(u)&(len(s.mu)-1)]
+	m.Lock()
+	ok := s.g.Insert(u, v, sim)
+	m.Unlock()
+	return ok
+}
+
+// MergeUser folds a batch of candidate neighbors into u's list under one
+// lock acquisition, reusing the similarities already computed by the
+// partial graphs (the paper is "careful to reuse similarity values").
+func (s *Shared) MergeUser(u int32, neigh []Neighbor) {
+	m := &s.mu[int(u)&(len(s.mu)-1)]
+	m.Lock()
+	for _, nb := range neigh {
+		s.g.Insert(u, nb.ID, nb.Sim)
+	}
+	m.Unlock()
+}
+
+// Graph returns the underlying graph; callers must ensure all concurrent
+// merging has completed.
+func (s *Shared) Graph() *Graph { return s.g }

@@ -1,0 +1,139 @@
+// Package knng provides the KNN-graph substrate shared by every algorithm
+// in this repository: bounded best-k neighbor lists, the graph itself,
+// random initialization (the greedy algorithms' starting point), the
+// user-by-user merge used by Cluster-and-Conquer's step 3, and the
+// average-similarity / quality metrics of §II-A.
+package knng
+
+// Neighbor is one directed edge of a KNN graph together with the
+// similarity that justified it.
+type Neighbor struct {
+	ID  int32
+	Sim float64
+	// New marks entries that were inserted since the last ResetNew call;
+	// the greedy algorithms (Hyrec, NNDescent) use it to avoid
+	// re-examining pairs that were already compared.
+	New bool
+}
+
+// List is a bounded set of the k best neighbors seen so far, maintained as
+// a binary min-heap keyed on Sim so the worst retained neighbor is O(1)
+// away. The zero List with K set is ready to use.
+type List struct {
+	K int
+	// H is the heap storage; element 0 is the worst neighbor once the
+	// list is full. Exposed for read-only iteration.
+	H []Neighbor
+}
+
+// Len returns the number of neighbors currently held.
+func (l *List) Len() int { return len(l.H) }
+
+// Worst returns the smallest similarity currently retained, or -1 when
+// the list is not yet full (any candidate is then acceptable).
+func (l *List) Worst() float64 {
+	if len(l.H) < l.K {
+		return -1
+	}
+	return l.H[0].Sim
+}
+
+// Contains reports whether v is already a neighbor. Linear scan: k is
+// small (30 in the paper) and the slice is contiguous.
+func (l *List) Contains(v int32) bool {
+	for i := range l.H {
+		if l.H[i].ID == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Insert offers (v, sim) to the list and reports whether the list changed.
+// A candidate is rejected when it is already present or when the list is
+// full and sim does not strictly beat the current worst similarity
+// (strictness guarantees greedy refinement loops terminate).
+func (l *List) Insert(v int32, sim float64) bool {
+	if l.Contains(v) {
+		return false
+	}
+	if len(l.H) < l.K {
+		l.H = append(l.H, Neighbor{ID: v, Sim: sim, New: true})
+		l.siftUp(len(l.H) - 1)
+		return true
+	}
+	if sim <= l.H[0].Sim {
+		return false
+	}
+	l.H[0] = Neighbor{ID: v, Sim: sim, New: true}
+	l.siftDown(0)
+	return true
+}
+
+func (l *List) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if l.H[p].Sim <= l.H[i].Sim {
+			return
+		}
+		l.H[p], l.H[i] = l.H[i], l.H[p]
+		i = p
+	}
+}
+
+func (l *List) siftDown(i int) {
+	n := len(l.H)
+	for {
+		least := i
+		if c := 2*i + 1; c < n && l.H[c].Sim < l.H[least].Sim {
+			least = c
+		}
+		if c := 2*i + 2; c < n && l.H[c].Sim < l.H[least].Sim {
+			least = c
+		}
+		if least == i {
+			return
+		}
+		l.H[i], l.H[least] = l.H[least], l.H[i]
+		i = least
+	}
+}
+
+// checkHeap verifies the min-heap invariant; used by tests.
+func (l *List) checkHeap() bool {
+	for i := 1; i < len(l.H); i++ {
+		if l.H[(i-1)/2].Sim > l.H[i].Sim {
+			return false
+		}
+	}
+	return true
+}
+
+// ResetNew appends the ids of neighbors flagged New to dst, clears their
+// flags, and returns the extended slice.
+func (l *List) ResetNew(dst []int32) []int32 {
+	for i := range l.H {
+		if l.H[i].New {
+			l.H[i].New = false
+			dst = append(dst, l.H[i].ID)
+		}
+	}
+	return dst
+}
+
+// IDs appends all neighbor ids to dst and returns the extended slice.
+func (l *List) IDs(dst []int32) []int32 {
+	for i := range l.H {
+		dst = append(dst, l.H[i].ID)
+	}
+	return dst
+}
+
+// SumSim returns the sum of retained similarities.
+func (l *List) SumSim() float64 {
+	s := 0.0
+	for i := range l.H {
+		s += l.H[i].Sim
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"c2knn/internal/bruteforce"
+	"c2knn/internal/dataset"
+	"c2knn/internal/knng"
+	"c2knn/internal/sets"
+	"c2knn/internal/similarity"
+)
+
+// blockDataset builds users in well-separated item blocks: users of the
+// same block share most items, so LSH must bucket them together.
+func blockDataset(blocks, perBlock, itemsPerBlock int, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	profiles := make([][]int32, 0, blocks*perBlock)
+	for b := 0; b < blocks; b++ {
+		base := int32(b * itemsPerBlock)
+		for u := 0; u < perBlock; u++ {
+			n := itemsPerBlock/2 + rng.Intn(itemsPerBlock/2)
+			p := make([]int32, 0, n)
+			for i := 0; i < n; i++ {
+				p = append(p, base+int32(rng.Intn(itemsPerBlock)))
+			}
+			profiles = append(profiles, sets.Normalize(p))
+		}
+	}
+	return dataset.New("blocks", profiles, int32(blocks*itemsPerBlock))
+}
+
+func TestBuildFindsBlockNeighbors(t *testing.T) {
+	d := blockDataset(6, 40, 50, 1)
+	p := similarity.NewJaccard(d)
+	g, stats := Build(d, p, Options{K: 10, T: 10, Workers: 2, Seed: 3})
+	exact := bruteforce.Build(d.NumUsers(), 10, p, 2)
+	if q := knng.Quality(g, exact, p); q < 0.85 {
+		t.Errorf("LSH quality on blocks = %.3f, want ≥ 0.85", q)
+	}
+	if stats.Buckets == 0 {
+		t.Error("no buckets processed")
+	}
+	if stats.MaxBucket < 2 {
+		t.Error("max bucket not tracked")
+	}
+}
+
+func TestNeighborsStayMeaningful(t *testing.T) {
+	d := blockDataset(4, 30, 40, 2)
+	p := similarity.NewJaccard(d)
+	g, _ := Build(d, p, Options{K: 5, Workers: 2, Seed: 4})
+	// Every found neighbor must have nonzero similarity (they shared a
+	// bucket, i.e. at least the min item).
+	for u := 0; u < d.NumUsers(); u++ {
+		for _, nb := range g.Lists[u].H {
+			if nb.Sim <= 0 {
+				t.Fatalf("user %d has a zero-sim neighbor %d", u, nb.ID)
+			}
+			if want := p.Sim(int32(u), nb.ID); nb.Sim != want {
+				t.Fatalf("stored sim %v != provider sim %v", nb.Sim, want)
+			}
+		}
+	}
+}
+
+func TestEmptyProfilesSkipped(t *testing.T) {
+	d := dataset.New("e", [][]int32{{}, {1, 2}, {1, 2, 3}}, 4)
+	p := similarity.NewJaccard(d)
+	g, _ := Build(d, p, Options{K: 2, Seed: 1})
+	if g.Lists[0].Len() != 0 {
+		t.Error("empty-profile user should have no neighbors")
+	}
+	if g.Lists[1].Len() == 0 {
+		t.Error("users 1 and 2 share items and should be bucketed together")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := blockDataset(3, 20, 30, 5)
+	p := similarity.NewJaccard(d)
+	g1, s1 := Build(d, p, Options{K: 4, Seed: 9, Workers: 1})
+	g2, s2 := Build(d, p, Options{K: 4, Seed: 9, Workers: 3})
+	if s1.Buckets != s2.Buckets || s1.MaxBucket != s2.MaxBucket {
+		t.Errorf("stats differ across worker counts: %+v vs %+v", s1, s2)
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		a, b := g1.Neighbors(int32(u)), g2.Neighbors(int32(u))
+		if len(a) != len(b) {
+			t.Fatalf("user %d: %d vs %d neighbors", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Sim != b[i].Sim {
+				t.Fatalf("user %d: sims differ between runs", u)
+			}
+		}
+	}
+}
+
+func TestMoreFunctionsMoreCandidates(t *testing.T) {
+	d := blockDataset(5, 25, 40, 6)
+	p1 := similarity.NewCounting(similarity.NewJaccard(d))
+	Build(d, p1, Options{K: 5, T: 2, Seed: 7})
+	p2 := similarity.NewCounting(similarity.NewJaccard(d))
+	Build(d, p2, Options{K: 5, T: 12, Seed: 7})
+	if p2.Count() <= p1.Count() {
+		t.Errorf("t=12 computed %d sims vs t=2's %d — more functions should mean more comparisons",
+			p2.Count(), p1.Count())
+	}
+}

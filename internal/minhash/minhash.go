@@ -1,0 +1,65 @@
+// Package minhash implements min-wise hashing over user profiles
+// (Broder 1997): function i maps a profile to the minimum of a seeded hash
+// over its items, approximating a random permutation of the item universe.
+// MinHash underpins the LSH baseline (§IV-B3) and the C²/MinHash ablation
+// of Table IV. Unlike FastRandomHash, the hash values range over the full
+// 32-bit space, so the induced buckets are "one per item" — the dispersion
+// the paper contrasts FRH against (§II-E).
+package minhash
+
+import "c2knn/internal/jenkins"
+
+// Family is a set of t independent min-wise hash functions.
+type Family struct {
+	f *jenkins.Family
+}
+
+// New returns a family of t functions derived from seed.
+func New(t int, seed int64) *Family {
+	return &Family{f: jenkins.NewFamily(t, seed)}
+}
+
+// Size returns the number of functions.
+func (m *Family) Size() int { return m.f.Size() }
+
+// Value returns the min-hash of profile under function fn:
+// min_{i∈profile} h_fn(i). The second return value is false when the
+// profile is empty (the min-hash is undefined).
+func (m *Family) Value(fn int, profile []int32) (uint32, bool) {
+	if len(profile) == 0 {
+		return 0, false
+	}
+	best := m.f.Hash(fn, uint32(profile[0]))
+	for _, it := range profile[1:] {
+		if h := m.f.Hash(fn, uint32(it)); h < best {
+			best = h
+		}
+	}
+	return best, true
+}
+
+// Signature returns the t-dimensional min-hash signature of profile.
+// Empty profiles yield a zero signature.
+func (m *Family) Signature(profile []int32) []uint32 {
+	sig := make([]uint32, m.Size())
+	for fn := range sig {
+		sig[fn], _ = m.Value(fn, profile)
+	}
+	return sig
+}
+
+// EstimateJaccard estimates J(a, b) as the fraction of matching signature
+// positions — the classic MinHash estimator, exercised by tests to check
+// the family behaves min-wise independently enough.
+func EstimateJaccard(sigA, sigB []uint32) float64 {
+	if len(sigA) == 0 || len(sigA) != len(sigB) {
+		return 0
+	}
+	match := 0
+	for i := range sigA {
+		if sigA[i] == sigB[i] {
+			match++
+		}
+	}
+	return float64(match) / float64(len(sigA))
+}

@@ -1,0 +1,160 @@
+package recommend
+
+import (
+	"testing"
+
+	"c2knn/internal/bruteforce"
+	"c2knn/internal/dataset"
+	"c2knn/internal/knng"
+	"c2knn/internal/sets"
+	"c2knn/internal/similarity"
+	"c2knn/internal/synth"
+)
+
+func TestSplitPartitionsProfiles(t *testing.T) {
+	d := synth.Generate(synth.ML1M().Scale(0.03))
+	const folds = 5
+	fs := Split(d, folds, 1)
+	if len(fs) != folds {
+		t.Fatalf("got %d folds", len(fs))
+	}
+	for u := 0; u < d.NumUsers(); u++ {
+		orig := d.Profiles[u]
+		var rebuilt []int32
+		for fi, f := range fs {
+			train := f.Train.Profiles[u]
+			test := f.Test[u]
+			if len(train)+len(test) != len(orig) {
+				t.Fatalf("fold %d user %d: train %d + test %d != profile %d",
+					fi, u, len(train), len(test), len(orig))
+			}
+			// Train and test are disjoint.
+			for _, it := range test {
+				if sets.Contains(train, it) {
+					t.Fatalf("fold %d user %d: item %d in both train and test", fi, u, it)
+				}
+			}
+			rebuilt = append(rebuilt, test...)
+		}
+		// Across folds, the test parts cover the profile exactly once
+		// (users with ≥ folds items).
+		if len(orig) >= folds {
+			rebuilt = sets.Normalize(rebuilt)
+			if !sets.Equal(rebuilt, orig) {
+				t.Fatalf("user %d: test folds do not cover the profile", u)
+			}
+		}
+	}
+}
+
+func TestSplitSmallProfilesStayInTrain(t *testing.T) {
+	d := dataset.New("tiny", [][]int32{{1, 2}, {3, 4, 5, 6, 7, 8}}, 9)
+	fs := Split(d, 5, 2)
+	for _, f := range fs {
+		if len(f.Test[0]) != 0 {
+			t.Error("2-item profile should never be split into 5 folds")
+		}
+		if len(f.Train.Profiles[0]) != 2 {
+			t.Error("small profile should remain fully in train")
+		}
+	}
+}
+
+func TestSplitPanicsOnOneFold(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Split with 1 fold should panic")
+		}
+	}()
+	Split(dataset.New("x", [][]int32{{1}}, 2), 1, 1)
+}
+
+func TestRecommendExcludesOwnItems(t *testing.T) {
+	// u0 and u1 are similar; u1 has an extra item that should be
+	// recommended to u0; u0's own items must not be.
+	d := dataset.New("r", [][]int32{
+		{0, 1, 2},
+		{0, 1, 2, 3},
+		{7, 8},
+	}, 9)
+	g := knng.New(3, 2)
+	g.Insert(0, 1, 0.75)
+	g.Insert(0, 2, 0.01)
+	recs := Recommend(d, g, 0, 5)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if recs[0] != 3 {
+		t.Errorf("top recommendation = %d, want 3", recs[0])
+	}
+	for _, it := range recs {
+		if sets.Contains(d.Profiles[0], it) {
+			t.Errorf("recommended an item u0 already has: %d", it)
+		}
+	}
+}
+
+func TestRecommendScoresBySimilaritySum(t *testing.T) {
+	d := dataset.New("s", [][]int32{
+		{0},
+		{1}, // neighbor A recommends 1
+		{2}, // neighbor B recommends 2
+		{2}, // neighbor C also recommends 2
+	}, 3)
+	g := knng.New(4, 3)
+	g.Insert(0, 1, 0.5)
+	g.Insert(0, 2, 0.3)
+	g.Insert(0, 3, 0.3)
+	recs := Recommend(d, g, 0, 2)
+	// Item 2 scores 0.6 > item 1 at 0.5.
+	if len(recs) != 2 || recs[0] != 2 || recs[1] != 1 {
+		t.Errorf("recs = %v, want [2 1]", recs)
+	}
+}
+
+func TestRecall(t *testing.T) {
+	if got := Recall([]int32{1, 2, 3}, []int32{2, 3, 9}); got != 2.0/3.0 {
+		t.Errorf("Recall = %v, want 2/3", got)
+	}
+	if got := Recall(nil, []int32{1}); got != 0 {
+		t.Errorf("Recall with no recs = %v, want 0", got)
+	}
+	if got := Recall([]int32{1}, nil); got != -1 {
+		t.Errorf("Recall with empty test = %v, want -1 (excluded)", got)
+	}
+}
+
+// TestEndToEndRecallBeatsRandom: a KNN-graph recommender must beat a
+// random-graph recommender on clustered data.
+func TestEndToEndRecallBeatsRandom(t *testing.T) {
+	d := synth.Generate(synth.ML1M().Scale(0.05))
+	folds := Split(d, 5, 3)
+	f := folds[0]
+	raw := similarity.NewJaccard(f.Train)
+	exact := bruteforce.Build(f.Train.NumUsers(), 10, raw, 2)
+	random := knng.New(f.Train.NumUsers(), 10)
+	knng.RandomInit(random, raw, 4)
+	exactRecall := EvalRecall(f, exact, 20, 2)
+	randomRecall := EvalRecall(f, random, 20, 2)
+	if exactRecall <= randomRecall {
+		t.Errorf("exact-graph recall %.4f not better than random-graph %.4f",
+			exactRecall, randomRecall)
+	}
+	if exactRecall <= 0 {
+		t.Error("exact-graph recall is zero — recommender broken")
+	}
+}
+
+func TestEvalRecallDeterministicAcrossWorkers(t *testing.T) {
+	d := synth.Generate(synth.ML1M().Scale(0.03))
+	f := Split(d, 4, 5)[0]
+	raw := similarity.NewJaccard(f.Train)
+	g := bruteforce.Build(f.Train.NumUsers(), 5, raw, 2)
+	r1 := EvalRecall(f, g, 10, 1)
+	r4 := EvalRecall(f, g, 10, 4)
+	// Per-worker partial sums reassociate float additions; allow ULP-level
+	// drift but nothing structural.
+	if diff := r1 - r4; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("recall depends on worker count: %v vs %v", r1, r4)
+	}
+}

@@ -1,0 +1,68 @@
+// Package schedule implements the lightweight work scheduling of C²'s
+// step 2 (§II-F): clusters are stored in a synchronized queue ordered by
+// decreasing size and consumed by a pool of workers, so the largest
+// clusters start first and stragglers are minimized. A FIFO policy is
+// provided for the scheduling ablation benchmarks.
+package schedule
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// LargestFirst returns job indices ordered by decreasing sizes[i]
+// (ties broken by index for determinism).
+func LargestFirst(sizes []int) []int {
+	order := make([]int, len(sizes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if sizes[ia] != sizes[ib] {
+			return sizes[ia] > sizes[ib]
+		}
+		return ia < ib
+	})
+	return order
+}
+
+// FIFO returns job indices 0..n-1 in submission order.
+func FIFO(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// Run processes every job in order on `workers` goroutines. The queue is a
+// shared atomic cursor over the order slice: each worker repeatedly claims
+// the next unprocessed job, which realizes the paper's "synchronized,
+// decreasing priority queue" without locking. Run returns once every job
+// has completed.
+func Run(workers int, order []int, fn func(job int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	if len(order) == 0 {
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(order) {
+					return
+				}
+				fn(order[i])
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,126 @@
+package schedule
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestLargestFirstOrdering(t *testing.T) {
+	sizes := []int{3, 9, 1, 9, 5}
+	order := LargestFirst(sizes)
+	want := []int{1, 3, 4, 0, 2} // 9(idx1), 9(idx3 — tie by index), 5, 3, 1
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("order = %v, want %v", order, want)
+			break
+		}
+	}
+}
+
+func TestLargestFirstIsPermutation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		sizes := make([]int, len(raw))
+		for i, v := range raw {
+			sizes[i] = int(v)
+		}
+		order := LargestFirst(sizes)
+		if len(order) != len(sizes) {
+			return false
+		}
+		seen := make(map[int]bool)
+		for i, idx := range order {
+			if idx < 0 || idx >= len(sizes) || seen[idx] {
+				return false
+			}
+			seen[idx] = true
+			if i > 0 && sizes[order[i-1]] < sizes[idx] {
+				return false // not decreasing
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFIFO(t *testing.T) {
+	order := FIFO(4)
+	for i, v := range order {
+		if v != i {
+			t.Errorf("FIFO = %v", order)
+			break
+		}
+	}
+	if len(FIFO(0)) != 0 {
+		t.Error("FIFO(0) should be empty")
+	}
+}
+
+func TestRunExecutesEveryJobExactlyOnce(t *testing.T) {
+	const jobs = 500
+	counts := make([]atomic.Int32, jobs)
+	Run(8, FIFO(jobs), func(job int) {
+		counts[job].Add(1)
+	})
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("job %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	ran := false
+	Run(4, nil, func(int) { ran = true })
+	if ran {
+		t.Error("callback invoked with no jobs")
+	}
+}
+
+func TestRunSingleWorkerPreservesOrder(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	order := []int{4, 2, 0, 3, 1}
+	Run(1, order, func(job int) {
+		mu.Lock()
+		got = append(got, job)
+		mu.Unlock()
+	})
+	for i := range order {
+		if got[i] != order[i] {
+			t.Fatalf("single worker order = %v, want %v", got, order)
+		}
+	}
+}
+
+func TestRunClampsWorkers(t *testing.T) {
+	n := 0
+	Run(0, FIFO(3), func(int) { n++ }) // workers < 1 clamps to 1
+	if n != 3 {
+		t.Errorf("ran %d jobs, want 3", n)
+	}
+}
+
+// TestRunLargestFirstReducesMakespan is a coarse behavioural check: with
+// one straggler job and many small ones, starting the straggler first
+// cannot be slower than starting it last.
+func TestRunConcurrent(t *testing.T) {
+	sizes := make([]int, 64)
+	for i := range sizes {
+		sizes[i] = i
+	}
+	var total atomic.Int64
+	Run(4, LargestFirst(sizes), func(job int) {
+		total.Add(int64(sizes[job]))
+	})
+	want := int64(63 * 64 / 2)
+	if total.Load() != want {
+		t.Errorf("total = %d, want %d", total.Load(), want)
+	}
+}

@@ -1,0 +1,96 @@
+// Package similarity defines the similarity metric abstraction the KNN
+// algorithms are built on, plus the exact set-based metrics used in the
+// paper: Jaccard (§II-A, the paper's default) and cosine over binary
+// profiles. A Counting decorator instruments the number of similarity
+// computations, the paper's primary cost model.
+package similarity
+
+import (
+	"math"
+	"sync/atomic"
+
+	"c2knn/internal/dataset"
+	"c2knn/internal/sets"
+)
+
+// Provider computes the similarity between two users identified by their
+// dense ids. Implementations must be safe for concurrent use.
+type Provider interface {
+	// Sim returns sim(u, v) in [0, 1].
+	Sim(u, v int32) float64
+}
+
+// Jaccard computes the exact Jaccard similarity
+// J(P_u, P_v) = |P_u ∩ P_v| / |P_u ∪ P_v| over raw profiles.
+type Jaccard struct {
+	profiles [][]int32
+}
+
+// NewJaccard returns a Jaccard provider over d's profiles.
+func NewJaccard(d *dataset.Dataset) *Jaccard {
+	return &Jaccard{profiles: d.Profiles}
+}
+
+// Sim implements Provider.
+func (j *Jaccard) Sim(u, v int32) float64 {
+	a, b := j.profiles[u], j.profiles[v]
+	inter := sets.IntersectCount(a, b)
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Cosine computes the cosine similarity over binary profiles:
+// |P_u ∩ P_v| / sqrt(|P_u|·|P_v|). Like Jaccard it is positively
+// correlated with the overlap and negatively with the profile sizes, so it
+// satisfies the paper's f_sim requirements (§II-A).
+type Cosine struct {
+	profiles [][]int32
+}
+
+// NewCosine returns a Cosine provider over d's profiles.
+func NewCosine(d *dataset.Dataset) *Cosine {
+	return &Cosine{profiles: d.Profiles}
+}
+
+// Sim implements Provider.
+func (c *Cosine) Sim(u, v int32) float64 {
+	a, b := c.profiles[u], c.profiles[v]
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := sets.IntersectCount(a, b)
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}
+
+// Counting wraps a Provider and counts calls to Sim. It is the
+// instrumentation behind the "number of similarity computations" cost
+// reported by the experiment harness.
+type Counting struct {
+	P Provider
+	n atomic.Int64
+}
+
+// NewCounting wraps p.
+func NewCounting(p Provider) *Counting { return &Counting{P: p} }
+
+// Sim implements Provider, incrementing the counter.
+func (c *Counting) Sim(u, v int32) float64 {
+	c.n.Add(1)
+	return c.P.Sim(u, v)
+}
+
+// Count returns the number of Sim calls observed so far.
+func (c *Counting) Count() int64 { return c.n.Load() }
+
+// Reset zeroes the counter.
+func (c *Counting) Reset() { c.n.Store(0) }
+
+// Func adapts a plain function to the Provider interface; convenient in
+// tests.
+type Func func(u, v int32) float64
+
+// Sim implements Provider.
+func (f Func) Sim(u, v int32) float64 { return f(u, v) }

@@ -1,0 +1,8 @@
+package synth
+
+import "math/rand"
+
+// newTestRand returns a deterministic RNG for tests.
+func newTestRand() *rand.Rand {
+	return rand.New(rand.NewSource(99))
+}

@@ -1,0 +1,92 @@
+package synth
+
+// The six presets below are calibrated to Table I of the paper. Users,
+// Items and the mean profile size |P_u| (and hence the rating volume
+// Users × |P_u|) match the table; Zipf exponents and the
+// global/parent/leaf draw mix are chosen so the dense MovieLens-like
+// presets have the heavy popularity heads that make their raw
+// FastRandomHash clusters exceed N=2000 (Fig. 8a), while the sparse
+// presets stay below 1000 (Fig. 8b) and fragment under LSH.
+
+// ML1M mirrors MovieLens1M: 6,038 users, 3,533 items, 575,281 ratings,
+// |P_u| ≈ 95.3, density 2.7%.
+func ML1M() Config {
+	return Config{
+		Name: "ml1M", Users: 6038, Items: 3533,
+		MeanProfile: 95.3, ProfileSigma: 0.85, MinProfile: 20,
+		Communities: 30, GlobalFrac: 0.3, ParentFrac: 0.25,
+		ZipfS: 1.05, ZipfV: 8, GlobalZipfS: 0.9, GlobalZipfV: 14, Seed: 101,
+	}
+}
+
+// ML10M mirrors MovieLens10M: 69,816 users, 10,472 items, 5,885,448
+// ratings, |P_u| ≈ 84.3, density 0.8%.
+func ML10M() Config {
+	return Config{
+		Name: "ml10M", Users: 69816, Items: 10472,
+		MeanProfile: 84.3, ProfileSigma: 0.85, MinProfile: 20,
+		Communities: 90, GlobalFrac: 0.3, ParentFrac: 0.25,
+		ZipfS: 1.05, ZipfV: 8, GlobalZipfS: 0.9, GlobalZipfV: 14, Seed: 102,
+	}
+}
+
+// ML20M mirrors MovieLens20M: 138,362 users, 22,884 items, 12,195,566
+// ratings, |P_u| ≈ 88.1, density 0.39%.
+func ML20M() Config {
+	return Config{
+		Name: "ml20M", Users: 138362, Items: 22884,
+		MeanProfile: 88.1, ProfileSigma: 0.85, MinProfile: 20,
+		Communities: 140, GlobalFrac: 0.3, ParentFrac: 0.25,
+		ZipfS: 1.05, ZipfV: 8, GlobalZipfS: 0.9, GlobalZipfV: 14, Seed: 103,
+	}
+}
+
+// AmazonMovies mirrors the AM dataset: 57,430 users, 171,356 items,
+// 3,263,050 ratings, |P_u| ≈ 56.8, density 0.033%. The flatter exponent
+// and huge universe make it the paper's representative sparse dataset.
+func AmazonMovies() Config {
+	return Config{
+		Name: "AM", Users: 57430, Items: 171356,
+		MeanProfile: 56.8, ProfileSigma: 0.8, MinProfile: 20,
+		Communities: 360, GlobalFrac: 0.1, ParentFrac: 0.18,
+		ZipfS: 1.0, ZipfV: 6, GlobalZipfS: 0.6, GlobalZipfV: 100, Seed: 104,
+	}
+}
+
+// DBLP mirrors the co-authorship dataset: 18,889 users, 203,030 items,
+// 692,752 ratings, |P_u| ≈ 36.7, density 0.018%.
+func DBLP() Config {
+	return Config{
+		Name: "DBLP", Users: 18889, Items: 203030,
+		MeanProfile: 36.7, ProfileSigma: 0.65, MinProfile: 20,
+		Communities: 500, GlobalFrac: 0.1, ParentFrac: 0.15,
+		ZipfS: 1.1, ZipfV: 4, GlobalZipfS: 0.55, GlobalZipfV: 120, Seed: 105,
+	}
+}
+
+// Gowalla mirrors the GW location-based social network: 20,270 users,
+// 135,540 items, 1,107,467 ratings, |P_u| ≈ 54.6, density 0.04%.
+func Gowalla() Config {
+	return Config{
+		Name: "GW", Users: 20270, Items: 135540,
+		MeanProfile: 54.6, ProfileSigma: 0.85, MinProfile: 20,
+		Communities: 400, GlobalFrac: 0.12, ParentFrac: 0.15,
+		ZipfS: 1.0, ZipfV: 6, GlobalZipfS: 0.6, GlobalZipfV: 100, Seed: 106,
+	}
+}
+
+// Presets returns all six Table I configurations in the paper's order.
+func Presets() []Config {
+	return []Config{ML1M(), ML10M(), ML20M(), AmazonMovies(), DBLP(), Gowalla()}
+}
+
+// ByName returns the preset with the given Name (case-sensitive) and
+// whether it exists.
+func ByName(name string) (Config, bool) {
+	for _, c := range Presets() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Config{}, false
+}

@@ -1,0 +1,178 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"c2knn/internal/similarity"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := ML1M().Scale(0.05)
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.NumUsers() != b.NumUsers() || a.NumRatings() != b.NumRatings() {
+		t.Fatal("generation is not deterministic")
+	}
+	for u := range a.Profiles {
+		if len(a.Profiles[u]) != len(b.Profiles[u]) {
+			t.Fatal("profiles differ between identical runs")
+		}
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	for _, cfg := range Presets() {
+		small := cfg.Scale(0.02)
+		d := Generate(small)
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+// TestCalibration: each preset's scaled statistics stay close to the
+// paper's per-user figures (Table I).
+func TestCalibration(t *testing.T) {
+	for _, cfg := range Presets() {
+		cfg := cfg.Scale(0.1)
+		d := Generate(cfg)
+		st := d.ComputeStats()
+		if st.Users != cfg.Users {
+			t.Errorf("%s: users = %d, want %d", cfg.Name, st.Users, cfg.Users)
+		}
+		// Mean profile within 25% of target (clipping and dedup shift it).
+		if math.Abs(st.AvgUser-cfg.MeanProfile)/cfg.MeanProfile > 0.25 {
+			t.Errorf("%s: |P_u| = %.1f, want ≈ %.1f", cfg.Name, st.AvgUser, cfg.MeanProfile)
+		}
+		// No profile below the configured minimum... after dedup profiles
+		// can end slightly short; tolerate 25% slack.
+		for u, p := range d.Profiles {
+			if len(p) < cfg.MinProfile*3/4 {
+				t.Errorf("%s: user %d has only %d items", cfg.Name, u, len(p))
+				break
+			}
+		}
+	}
+}
+
+// TestCommunityStructure: users of the same leaf community must be far
+// more similar on average than random pairs — the property that makes
+// KNN quality a discriminating metric.
+func TestCommunityStructure(t *testing.T) {
+	cfg := ML10M().Scale(0.1)
+	d := Generate(cfg)
+	sim := similarity.NewJaccard(d)
+	c := cfg.Communities
+	rng := newTestRand()
+	var intra, inter float64
+	var nIntra, nInter int
+	for u := 0; u < 400; u++ {
+		if same := u + c; same < d.NumUsers() { // same leaf (u mod c equal)
+			intra += sim.Sim(int32(u), int32(same))
+			nIntra++
+		}
+		// Random pairs are overwhelmingly cross-leaf.
+		v := rng.Intn(d.NumUsers())
+		if v != u {
+			inter += sim.Sim(int32(u), int32(v))
+			nInter++
+		}
+	}
+	intra /= float64(nIntra)
+	inter /= float64(nInter)
+	if intra < 2*inter {
+		t.Errorf("intra-community sim %.4f not ≫ random-pair sim %.4f", intra, inter)
+	}
+}
+
+// TestDenseVsSparseSkew: the dense preset must produce a far bigger
+// biggest-raw-cluster (relative to population) than the sparse preset —
+// the property behind Fig. 8.
+func TestDenseVsSparseSkew(t *testing.T) {
+	dense := Generate(ML10M().Scale(0.04))
+	sparse := Generate(AmazonMovies().Scale(0.04))
+	densePop := dense.ItemPopularity()
+	sparsePop := sparse.ItemPopularity()
+	maxShare := func(pop []int, users int) float64 {
+		m := 0
+		for _, c := range pop {
+			if c > m {
+				m = c
+			}
+		}
+		return float64(m) / float64(users)
+	}
+	dShare := maxShare(densePop, dense.NumUsers())
+	sShare := maxShare(sparsePop, sparse.NumUsers())
+	if dShare < 2*sShare {
+		t.Errorf("dense top-item share %.3f not ≫ sparse %.3f", dShare, sShare)
+	}
+}
+
+func TestScaleBounds(t *testing.T) {
+	cfg := ML20M()
+	s := cfg.Scale(0.001)
+	if s.Users < 200 || s.Items < 100 || s.Communities < 4 {
+		t.Errorf("scale floors violated: %+v", s)
+	}
+	if cfg.Scale(1).Name != cfg.Name {
+		t.Error("Scale(1) should be identity")
+	}
+	if got := cfg.Scale(0.5).Users; got != cfg.Users/2 {
+		t.Errorf("Scale(0.5).Users = %d, want %d", got, cfg.Users/2)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, want := range []string{"ml1M", "ml10M", "ml20M", "AM", "DBLP", "GW"} {
+		cfg, ok := ByName(want)
+		if !ok || cfg.Name != want {
+			t.Errorf("ByName(%q) failed", want)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName should reject unknown names")
+	}
+}
+
+func TestGeneratePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with zero users should panic")
+		}
+	}()
+	Generate(Config{Users: 0, Items: 10})
+}
+
+func TestZipfTable(t *testing.T) {
+	z := newZipfTable(100, 1.0, 1)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	// Head ranks must dominate: count draws in top decile.
+	counts := make([]int, 100)
+	rng := newTestRand()
+	for i := 0; i < 20000; i++ {
+		counts[z.Draw(rng)]++
+	}
+	top, bottom := 0, 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	for i := 90; i < 100; i++ {
+		bottom += counts[i]
+	}
+	if top <= 3*bottom {
+		t.Errorf("zipf head %d draws vs tail %d — not skewed enough", top, bottom)
+	}
+}
+
+func TestZipfTablePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty support should panic")
+		}
+	}()
+	newZipfTable(0, 1, 1)
+}

@@ -1,0 +1,43 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// zipfTable samples from a bounded Zipf-like distribution over ranks
+// 0..n-1 with P(k) ∝ 1/(v+k)^s, by inverse-CDF lookup on a precomputed
+// prefix-sum table. Unlike math/rand.Zipf it supports any s ≥ 0 (the
+// sparse datasets need exponents below 1) and maps ranks through an
+// arbitrary permutation supplied by the caller.
+type zipfTable struct {
+	cum []float64 // cum[k] = Σ_{j≤k} w_j
+}
+
+// newZipfTable builds the sampler for n ranks with exponent s and offset
+// v (v ≥ 1 flattens the head).
+func newZipfTable(n int, s, v float64) *zipfTable {
+	if n <= 0 {
+		panic("synth: zipf over empty support")
+	}
+	if v < 1 {
+		v = 1
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for k := 0; k < n; k++ {
+		total += math.Pow(v+float64(k), -s)
+		cum[k] = total
+	}
+	return &zipfTable{cum: cum}
+}
+
+// Draw samples a rank in [0, n).
+func (z *zipfTable) Draw(rng *rand.Rand) int {
+	u := rng.Float64() * z.cum[len(z.cum)-1]
+	return sort.SearchFloat64s(z.cum, u)
+}
+
+// N returns the support size.
+func (z *zipfTable) N() int { return len(z.cum) }

@@ -1,0 +1,140 @@
+// Package theory validates the analytical properties of FastRandomHash
+// (§III of the paper): Theorem 1 bounds the probability that two users
+// hash to the same cluster by their Jaccard similarity plus a collision
+// term, and Theorem 2 concentrates that collision term. The functions
+// here compute the paper's bounds exactly and estimate the corresponding
+// probabilities empirically over many random generative functions, so
+// tests and the `c2bench -exp theory` experiment can check the
+// inequalities numerically (including the worked example ℓ=256, b=4096,
+// d=0.5 ⇒ J−0.078 ≤ P ≤ J+0.234 with probability ≥ 0.998).
+package theory
+
+import (
+	"math"
+
+	"c2knn/internal/jenkins"
+	"c2knn/internal/sets"
+)
+
+// hashTo projects item ids onto [1, b] with a seeded Jenkins hash — the
+// same construction internal/frh uses.
+func hashTo(item int32, seed uint32, b int) uint32 {
+	return jenkins.Hash32(uint32(item), seed)%uint32(b) + 1
+}
+
+// minHash returns min_{i∈p} h(i) under (seed, b).
+func minHash(p []int32, seed uint32, b int) uint32 {
+	best := hashTo(p[0], seed, b)
+	for _, it := range p[1:] {
+		if v := hashTo(it, seed, b); v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Collisions returns κ = ℓ − |h(P1 ∪ P2)| (the number of collisions the
+// generative function with the given seed causes on the joint profile)
+// and ℓ = |P1 ∪ P2|.
+func Collisions(p1, p2 []int32, b int, seed uint32) (kappa, ell int) {
+	union := sets.Union(p1, p2)
+	ell = len(union)
+	image := make(map[uint32]struct{}, ell)
+	for _, it := range union {
+		image[hashTo(it, seed, b)] = struct{}{}
+	}
+	return ell - len(image), ell
+}
+
+// SameHash reports whether the two profiles receive the same
+// FastRandomHash value under (seed, b).
+func SameHash(p1, p2 []int32, b int, seed uint32) bool {
+	return minHash(p1, seed, b) == minHash(p2, seed, b)
+}
+
+// EmpiricalCollision estimates P[H(u1) = H(u2)] over `trials` independent
+// generative functions.
+func EmpiricalCollision(p1, p2 []int32, b, trials int, seed int64) float64 {
+	fam := jenkins.NewFamily(trials, seed)
+	same := 0
+	for t := 0; t < trials; t++ {
+		if SameHash(p1, p2, b, fam.Seed(t)) {
+			same++
+		}
+	}
+	return float64(same) / float64(trials)
+}
+
+// Jaccard returns J(P1, P2).
+func Jaccard(p1, p2 []int32) float64 {
+	inter := sets.IntersectCount(p1, p2)
+	union := len(p1) + len(p2) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Theorem1Simple returns the simplified bounds of Eq. (4) and (5):
+// lo = J − κ/ℓ and hi = J + 3κ/ℓ + (κ/ℓ)². hi is only valid when
+// κ ≤ ℓ/2 (the theorem's assumption); ok reports that condition.
+func Theorem1Simple(j float64, kappa, ell int) (lo, hi float64, ok bool) {
+	r := float64(kappa) / float64(ell)
+	return j - r, j + 3*r + r*r, kappa*2 <= ell
+}
+
+// Theorem1Exact returns the exact sandwich of Eq. (9):
+// (J−κ/ℓ)/(1−κ/ℓ) ≤ P ≤ (J+κ/ℓ)/(1−κ/ℓ).
+func Theorem1Exact(j float64, kappa, ell int) (lo, hi float64) {
+	r := float64(kappa) / float64(ell)
+	return (j - r) / (1 - r), (j + r) / (1 - r)
+}
+
+// ConditionalCollision returns the exact conditional probability of
+// Eq. (6): |h(P1) ∩ h(P2)| / |h(P1 ∪ P2)| for the function identified by
+// seed. Averaged over seeds it converges to P[H(u1) = H(u2)].
+func ConditionalCollision(p1, p2 []int32, b int, seed uint32) float64 {
+	img1 := make(map[uint32]struct{}, len(p1))
+	for _, it := range p1 {
+		img1[hashTo(it, seed, b)] = struct{}{}
+	}
+	imgU := make(map[uint32]struct{}, len(p1)+len(p2))
+	for h := range img1 {
+		imgU[h] = struct{}{}
+	}
+	both := 0
+	img2 := make(map[uint32]struct{}, len(p2))
+	for _, it := range p2 {
+		h := hashTo(it, seed, b)
+		imgU[h] = struct{}{}
+		img2[h] = struct{}{}
+	}
+	for h := range img2 {
+		if _, ok := img1[h]; ok {
+			both++
+		}
+	}
+	return float64(both) / float64(len(imgU))
+}
+
+// Theorem2 returns the collision-density threshold (1+d)(ℓ−1)/(2b) and
+// the probability lower bound 1 − (e^d/(1+d)^(1+d))^{ℓ(ℓ−1)/(2b)} of
+// Eq. (10).
+func Theorem2(ell, b int, d float64) (threshold, probLB float64) {
+	threshold = (1 + d) * float64(ell-1) / (2 * float64(b))
+	exponent := float64(ell) * float64(ell-1) / (2 * float64(b))
+	base := math.Exp(d) / math.Pow(1+d, 1+d)
+	probLB = 1 - math.Pow(base, exponent)
+	return threshold, probLB
+}
+
+// PaperExample evaluates the worked example after Theorem 2 (ℓ=256,
+// b=4096, d=0.5): it returns the deviation δ⁻ below J, the deviation δ⁺
+// above J, and the probability with which they hold, i.e. the triple the
+// paper rounds to (0.078, 0.234, 0.998).
+func PaperExample(ell, b int, d float64) (below, above, prob float64) {
+	threshold, probLB := Theorem2(ell, b, d)
+	// With κ/ℓ < threshold, Theorem 1 gives
+	// J − threshold ≤ P and P ≤ J + 3·threshold + threshold².
+	return threshold, 3*threshold + threshold*threshold, probLB
+}

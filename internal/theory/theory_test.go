@@ -1,0 +1,171 @@
+package theory
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"c2knn/internal/sets"
+)
+
+// makeProfiles builds two profiles with `shared` common items and `only`
+// exclusive items each.
+func makeProfiles(shared, only int, seed int64) (p1, p2 []int32) {
+	rng := rand.New(rand.NewSource(seed))
+	used := make(map[int32]bool)
+	draw := func() int32 {
+		for {
+			v := int32(rng.Intn(1 << 24))
+			if !used[v] {
+				used[v] = true
+				return v
+			}
+		}
+	}
+	for i := 0; i < shared; i++ {
+		v := draw()
+		p1 = append(p1, v)
+		p2 = append(p2, v)
+	}
+	for i := 0; i < only; i++ {
+		p1 = append(p1, draw())
+		p2 = append(p2, draw())
+	}
+	return sets.Normalize(p1), sets.Normalize(p2)
+}
+
+func TestJaccard(t *testing.T) {
+	p1, p2 := makeProfiles(10, 10, 1)
+	want := 10.0 / 30.0
+	if got := Jaccard(p1, p2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Jaccard = %v, want %v", got, want)
+	}
+	if Jaccard(nil, nil) != 0 {
+		t.Error("Jaccard of empties should be 0")
+	}
+}
+
+func TestCollisionsCount(t *testing.T) {
+	p1, p2 := makeProfiles(20, 30, 2)
+	kappa, ell := Collisions(p1, p2, 4096, 12345)
+	if ell != 80 {
+		t.Errorf("ℓ = %d, want 80", ell)
+	}
+	if kappa < 0 || kappa >= ell {
+		t.Errorf("κ = %d out of range", kappa)
+	}
+	// With b much larger than ℓ, collisions are rare.
+	if kappa > ell/4 {
+		t.Errorf("κ = %d suspiciously high for b=4096, ℓ=%d", kappa, ell)
+	}
+}
+
+// TestTheorem1ExactSandwich: for many random functions, the exact
+// conditional probability of Eq. (6) must lie within the exact bounds of
+// Eq. (9) computed from the same function's κ.
+func TestTheorem1ExactSandwich(t *testing.T) {
+	p1, p2 := makeProfiles(64, 96, 3) // ℓ=256, J=0.25
+	j := Jaccard(p1, p2)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		seed := rng.Uint32()
+		kappa, ell := Collisions(p1, p2, 4096, seed)
+		lo, hi := Theorem1Exact(j, kappa, ell)
+		cond := ConditionalCollision(p1, p2, 4096, seed)
+		if cond < lo-1e-9 || cond > hi+1e-9 {
+			t.Fatalf("trial %d: conditional P=%.4f outside [%.4f, %.4f] (κ=%d)",
+				trial, cond, lo, hi, kappa)
+		}
+	}
+}
+
+// TestTheorem1Empirical: the empirical collision probability over many
+// functions respects the paper's worked-example interval.
+func TestTheorem1Empirical(t *testing.T) {
+	p1, p2 := makeProfiles(64, 96, 5) // ℓ=256, J=0.25
+	j := Jaccard(p1, p2)
+	below, above, _ := PaperExample(256, 4096, 1.5)
+	emp := EmpiricalCollision(p1, p2, 4096, 3000, 6)
+	if emp < j-below || emp > j+above {
+		t.Errorf("empirical P=%.4f outside [J−%.3f, J+%.3f] with J=%.3f", emp, below, above, j)
+	}
+	// The estimate should actually be close to J itself.
+	if math.Abs(emp-j) > 0.05 {
+		t.Errorf("empirical P=%.4f far from J=%.4f", emp, j)
+	}
+}
+
+// TestEmpiricalMonotoneInSimilarity: more similar pairs collide more.
+func TestEmpiricalMonotoneInSimilarity(t *testing.T) {
+	high1, high2 := makeProfiles(80, 20, 7) // J = 80/120 ≈ 0.67
+	low1, low2 := makeProfiles(10, 90, 8)   // J = 10/190 ≈ 0.05
+	pHigh := EmpiricalCollision(high1, high2, 4096, 1500, 9)
+	pLow := EmpiricalCollision(low1, low2, 4096, 1500, 9)
+	if pHigh <= pLow {
+		t.Errorf("P(high J)=%.3f ≤ P(low J)=%.3f", pHigh, pLow)
+	}
+}
+
+func TestTheorem2Bounds(t *testing.T) {
+	threshold, probLB := Theorem2(256, 4096, 1.5)
+	if math.Abs(threshold-0.0778) > 0.001 {
+		t.Errorf("threshold = %.4f, want ≈ 0.0778 (the paper's 0.078)", threshold)
+	}
+	if math.Abs(probLB-0.998) > 0.002 {
+		t.Errorf("probLB = %.4f, want ≈ 0.998", probLB)
+	}
+	// d = 0.5 as printed in the paper gives much weaker numbers — the
+	// repository treats the printed value as a typo (see Env.Theory).
+	th05, p05 := Theorem2(256, 4096, 0.5)
+	if th05 > 0.05 && p05 > 0.9 {
+		t.Error("d=0.5 unexpectedly reproduces the paper's numbers")
+	}
+}
+
+// TestTheorem2EmpiricalConcentration: the fraction of functions whose
+// collision density stays below the threshold must beat the bound.
+func TestTheorem2EmpiricalConcentration(t *testing.T) {
+	p1, p2 := makeProfiles(64, 96, 10) // ℓ=256
+	threshold, probLB := Theorem2(256, 4096, 1.5)
+	rng := rand.New(rand.NewSource(11))
+	const trials = 1500
+	ok := 0
+	for i := 0; i < trials; i++ {
+		kappa, ell := Collisions(p1, p2, 4096, rng.Uint32())
+		if float64(kappa)/float64(ell) < threshold {
+			ok++
+		}
+	}
+	if frac := float64(ok) / trials; frac < probLB-0.01 {
+		t.Errorf("concentration %.4f below the bound %.4f", frac, probLB)
+	}
+}
+
+// TestTheorem1SimpleBoundsOrdering: quick property — lo ≤ hi and the
+// interval contains the exact-sandwich interval's center behaviour.
+func TestTheorem1SimpleBounds(t *testing.T) {
+	f := func(jRaw uint8, kappaRaw, ellRaw uint16) bool {
+		ell := int(ellRaw%500) + 2
+		kappa := int(kappaRaw) % (ell / 2)
+		j := float64(jRaw) / 255
+		lo, hi, ok := Theorem1Simple(j, kappa, ell)
+		if !ok {
+			return true // assumption violated; nothing to check
+		}
+		return lo <= j && j <= hi && lo <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSameHashDeterministic(t *testing.T) {
+	p1, p2 := makeProfiles(5, 5, 12)
+	if SameHash(p1, p2, 64, 7) != SameHash(p1, p2, 64, 7) {
+		t.Error("SameHash not deterministic")
+	}
+	if !SameHash(p1, p1, 64, 7) {
+		t.Error("identical profiles must share their hash")
+	}
+}

@@ -1,0 +1,29 @@
+package c2knn
+
+import (
+	"runtime"
+
+	"c2knn/internal/recommend"
+)
+
+// Fold is one train/test split of a cross-validation; see SplitFolds.
+type Fold = recommend.Fold
+
+// SplitFolds produces a k-fold cross-validation of d: fold i holds out
+// the i-th part of every user's (shuffled) profile.
+func SplitFolds(d *Dataset, folds int, seed int64) []Fold {
+	return recommend.Split(d, folds, seed)
+}
+
+// Recommend returns up to n items for user u by user-based collaborative
+// filtering over g: items in neighbors' profiles (but not u's own),
+// scored by the recommending neighbors' similarities.
+func Recommend(train *Dataset, g *Graph, u int32, n int) []int32 {
+	return recommend.Recommend(train, g, u, n)
+}
+
+// EvalRecall recommends n items to every user of the fold using g and
+// returns the mean recall over users with held-out items.
+func EvalRecall(f Fold, g *Graph, n int) float64 {
+	return recommend.EvalRecall(f, g, n, runtime.GOMAXPROCS(0))
+}
