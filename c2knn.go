@@ -35,6 +35,17 @@ type Neighbor = knng.Neighbor
 // safe for concurrent use.
 type Similarity = similarity.Provider
 
+// Localizer is the optional fast-path interface a Similarity may
+// implement: Gather copies one cluster's data into a reusable LocalSim
+// kernel so the local solvers evaluate pair similarities with zero
+// interface dispatch. The built-in providers (GoldFinger, exact
+// Jaccard, Cosine) all implement it; any other Similarity transparently
+// falls back to per-pair dispatch.
+type Localizer = similarity.Localizer
+
+// LocalSim is a gathered cluster-local similarity kernel; see Localizer.
+type LocalSim = similarity.Local
+
 // BuildOptions parameterizes BuildC2; the zero value is the paper's
 // configuration (k=30, b=4096, t=8, N=2000, ρ=5, recursive splitting on,
 // largest-first scheduling, hybrid local solver).

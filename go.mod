@@ -1,0 +1,3 @@
+module c2knn
+
+go 1.24

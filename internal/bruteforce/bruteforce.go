@@ -44,24 +44,52 @@ func Build(n, k int, p similarity.Provider, workers int) *knng.Graph {
 	return g
 }
 
-// Local computes the exact KNN lists of the users in ids, restricted to
-// candidates within ids. The returned lists are parallel to ids and hold
-// global user ids; this is the per-cluster solver used by C² and LSH.
-// Local is sequential: parallelism comes from processing many clusters at
-// once.
-func Local(ids []int32, k int, p similarity.Provider) []knng.List {
-	lists := make([]knng.List, len(ids))
-	for i := range lists {
-		lists[i].K = k
+// Scratch holds the reusable per-worker state of LocalInto. The zero
+// value is ready to use; reusing one Scratch across clusters makes
+// steady-state solving allocation-free.
+type Scratch struct {
+	lists []knng.List
+}
+
+// LocalInto computes the exact KNN lists of the gathered cluster loc,
+// evaluating every unordered member pair once through loc's zero-
+// dispatch kernel. The returned lists are parallel to loc.IDs(), hold
+// global user ids, and alias s's scratch: they are valid only until the
+// next LocalInto call on s. This is the per-cluster solver used by C²
+// and LSH; it is sequential — parallelism comes from processing many
+// clusters at once.
+func LocalInto(loc *similarity.Local, k int, s *Scratch) []knng.List {
+	m := loc.Len()
+	s.lists = knng.ReuseLists(s.lists, m, k)
+	lists := s.lists
+	// The inner loop runs on local indices; ids are remapped once at the
+	// end (k entries per member) instead of once per pair.
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			sim := loc.Sim(i, j)
+			lists[i].Insert(int32(j), sim)
+			lists[j].Insert(int32(i), sim)
+		}
 	}
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			s := p.Sim(ids[i], ids[j])
-			lists[i].Insert(ids[j], s)
-			lists[j].Insert(ids[i], s)
+	for i := range lists {
+		h := lists[i].H
+		for x := range h {
+			h[x].ID = loc.ID(int(h[x].ID))
 		}
 	}
 	return lists
+}
+
+// Local computes the exact KNN lists of the users in ids, restricted to
+// candidates within ids, gathering p into a fresh cluster-local kernel
+// first. The returned lists are parallel to ids and hold global user
+// ids. Hot callers (core, lsh) use LocalInto with per-worker scratch
+// instead.
+func Local(ids []int32, k int, p similarity.Provider) []knng.List {
+	var loc similarity.Local
+	similarity.GatherInto(p, ids, &loc)
+	var s Scratch
+	return LocalInto(&loc, k, &s)
 }
 
 // PairCount returns the number of similarity computations Build/Local

@@ -137,3 +137,34 @@ func BenchmarkBuild500(b *testing.B) {
 		Build(500, 10, p, 2)
 	}
 }
+
+// TestLocalIntoScratchReuse: solving many clusters of varying sizes
+// through one reused Scratch must match fresh Local calls exactly.
+func TestLocalIntoScratchReuse(t *testing.T) {
+	p := similarity.Func(pairSim)
+	var loc similarity.Local
+	var s Scratch
+	for trial := 0; trial < 8; trial++ {
+		m := 2 + (trial*13)%37
+		ids := make([]int32, m)
+		for i := range ids {
+			ids[i] = int32(trial*100 + i*3)
+		}
+		similarity.GatherInto(p, ids, &loc)
+		got := LocalInto(&loc, 5, &s)
+		want := Local(ids, 5, p)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d lists, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if len(got[i].H) != len(want[i].H) {
+				t.Fatalf("trial %d list %d: %d neighbors, want %d", trial, i, len(got[i].H), len(want[i].H))
+			}
+			for j := range got[i].H {
+				if got[i].H[j] != want[i].H[j] {
+					t.Fatalf("trial %d list %d slot %d: %+v vs %+v", trial, i, j, got[i].H[j], want[i].H[j])
+				}
+			}
+		}
+	}
+}

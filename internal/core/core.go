@@ -133,7 +133,7 @@ func (o *Options) setDefaults() {
 	if o.Delta == 0 {
 		o.Delta = 0.001
 	}
-	if o.Workers == 0 {
+	if o.Workers < 1 {
 		o.Workers = 1
 	}
 }
@@ -199,21 +199,27 @@ func Build(d *dataset.Dataset, p similarity.Provider, o Options) (*knng.Graph, S
 	// channel-free trick: each job is claimed by exactly one worker, so a
 	// plain slice indexed by job is race-free.
 	solver := make([]bool, len(clusters)) // true = Hyrec
-	schedule.Run(o.Workers, order, func(job int) {
+	// Each worker owns a scratch bundle: the gathered cluster-local
+	// similarity kernel plus the local solvers' reusable buffers, so
+	// steady-state cluster processing allocates nothing.
+	scratches := make([]clusterScratch, o.Workers)
+	schedule.Run(o.Workers, order, func(worker, job int) {
 		ids := clusters[job].Users
 		if len(ids) < 2 {
 			return
 		}
+		ws := &scratches[worker]
+		similarity.GatherInto(p, ids, &ws.loc)
 		var lists []knng.List
 		if useHyrec(o, len(ids)) {
 			solver[job] = true
-			lists = hyrec.Local(ids, o.K, p, hyrec.Options{
+			lists = hyrec.LocalInto(&ws.loc, o.K, hyrec.Options{
 				Delta:   o.Delta,
 				MaxIter: o.Rho,
 				Seed:    o.Seed + int64(job),
-			})
+			}, &ws.hy)
 		} else {
-			lists = bruteforce.Local(ids, o.K, p)
+			lists = bruteforce.LocalInto(&ws.loc, o.K, &ws.bf)
 		}
 		for i := range lists {
 			shared.MergeUser(ids[i], lists[i].H)
@@ -231,6 +237,14 @@ func Build(d *dataset.Dataset, p similarity.Provider, o Options) (*knng.Graph, S
 	}
 	stats.KNNTime = time.Since(start)
 	return g, stats
+}
+
+// clusterScratch is one worker's reusable state: the gathered
+// similarity kernel and both local solvers' scratch buffers.
+type clusterScratch struct {
+	loc similarity.Local
+	bf  bruteforce.Scratch
+	hy  hyrec.Scratch
 }
 
 // useHyrec applies Algorithm 2's switch rule under the configured solver
@@ -273,6 +287,12 @@ func minhashClusters(d *dataset.Dataset, o Options) []frh.Cluster {
 		}
 		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 		for _, idx := range keys {
+			// Singleton buckets contribute no pairs; skip them at
+			// emission instead of allocating clusters Build would
+			// immediately discard.
+			if len(byHash[idx]) < 2 {
+				continue
+			}
 			clusters = append(clusters, frh.Cluster{Fn: fn, Index: idx, Users: byHash[idx]})
 		}
 	}

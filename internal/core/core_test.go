@@ -215,3 +215,95 @@ func BenchmarkBuildC2Small(b *testing.B) {
 		Build(bundle.data, bundle.gf, Options{K: 10, B: 256, T: 8, MaxClusterSize: 100, Workers: 2, Seed: 3})
 	}
 }
+
+// dispatchOnly hides a provider's Localizer implementation, forcing the
+// generic Provider-dispatch kernel — the reference path the gathered
+// kernels must match bit-for-bit.
+type dispatchOnly struct{ p similarity.Provider }
+
+func (d dispatchOnly) Sim(u, v int32) float64 { return d.p.Sim(u, v) }
+
+func graphsIdentical(t *testing.T, a, b *knng.Graph) {
+	t.Helper()
+	if a.NumUsers() != b.NumUsers() {
+		t.Fatalf("graph sizes differ: %d vs %d", a.NumUsers(), b.NumUsers())
+	}
+	for u := range a.Lists {
+		ha, hb := a.Lists[u].H, b.Lists[u].H
+		if len(ha) != len(hb) {
+			t.Fatalf("user %d: neighbor counts differ (%d vs %d)", u, len(ha), len(hb))
+		}
+		for i := range ha {
+			if ha[i].ID != hb[i].ID || ha[i].Sim != hb[i].Sim {
+				t.Fatalf("user %d slot %d: (%d, %v) vs (%d, %v)",
+					u, i, ha[i].ID, ha[i].Sim, hb[i].ID, hb[i].Sim)
+			}
+		}
+	}
+}
+
+// TestKernelEquivalenceBuild: for a fixed seed, Build through the
+// gathered fast-path kernels must produce a graph bit-identical — same
+// heap layouts, same float64 similarities — to Build through plain
+// Provider dispatch. Workers is 1 so merge order is deterministic and
+// the comparison is exact.
+func TestKernelEquivalenceBuild(t *testing.T) {
+	b, _ := testData(t)
+	opts := Options{K: 10, B: 128, T: 6, MaxClusterSize: 120, Workers: 1, Seed: 21}
+	for _, tc := range []struct {
+		name string
+		p    similarity.Provider
+	}{
+		{"goldfinger", b.gf},
+		{"jaccard", b.raw},
+	} {
+		if _, ok := tc.p.(similarity.Localizer); !ok {
+			t.Fatalf("%s: provider lost its Localizer implementation", tc.name)
+		}
+		fast, _ := Build(b.data, tc.p, opts)
+		slow, _ := Build(b.data, dispatchOnly{tc.p}, opts)
+		graphsIdentical(t, fast, slow)
+	}
+}
+
+// TestKernelEquivalenceSolvers repeats the bit-identity check with each
+// local solver forced, so both the brute-force and the Hyrec kernels
+// are exercised on large clusters.
+func TestKernelEquivalenceSolvers(t *testing.T) {
+	b, _ := testData(t)
+	for _, solver := range []LocalSolver{SolverBruteForce, SolverHyrec} {
+		opts := Options{
+			K: 10, B: 32, T: 4, MaxClusterSize: 2000,
+			Workers: 1, Seed: 23, LocalSolver: solver,
+		}
+		fast, _ := Build(b.data, b.gf, opts)
+		slow, _ := Build(b.data, dispatchOnly{b.gf}, opts)
+		graphsIdentical(t, fast, slow)
+	}
+}
+
+// TestScratchReuseConcurrent hammers the per-worker scratch-reuse path
+// with many workers and repeated runs; under -race it proves gathered
+// kernels and solver scratch never leak across goroutines, and the
+// runs must stay deterministic.
+func TestScratchReuseConcurrent(t *testing.T) {
+	b, _ := testData(t)
+	opts := Options{K: 10, B: 128, T: 6, MaxClusterSize: 100, Workers: 8, Seed: 29}
+	ref, _ := Build(b.data, b.gf, opts)
+	for run := 0; run < 3; run++ {
+		g, _ := Build(b.data, b.gf, opts)
+		for u := range g.Lists {
+			if len(g.Lists[u].H) != len(ref.Lists[u].H) {
+				t.Fatalf("run %d user %d: neighbor count drifted", run, u)
+			}
+		}
+		if q := knng.Quality(g, b.exact, b.raw); q < 0.8 {
+			t.Fatalf("run %d: quality %.3f collapsed under concurrency", run, q)
+		}
+	}
+	// MinHash clustering exercises the singleton-skip emission path.
+	mh := Options{K: 10, T: 6, UseMinHash: true, Workers: 8, Seed: 31}
+	if g, _ := Build(b.data, b.gf, mh); g.NumUsers() != b.data.NumUsers() {
+		t.Fatal("minhash concurrent build lost users")
+	}
+}

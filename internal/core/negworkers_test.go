@@ -1,0 +1,11 @@
+package core
+
+import "testing"
+
+func TestNegativeWorkersClamped(t *testing.T) {
+	b, _ := testData(t)
+	g, _ := Build(b.data, b.gf, Options{K: 10, B: 128, T: 4, MaxClusterSize: 100, Workers: -1, Seed: 3})
+	if g.NumUsers() != b.data.NumUsers() {
+		t.Fatal("negative workers broke the build")
+	}
+}

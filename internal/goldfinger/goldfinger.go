@@ -13,6 +13,7 @@ import (
 
 	"c2knn/internal/dataset"
 	"c2knn/internal/jenkins"
+	"c2knn/internal/similarity"
 )
 
 // Set holds the fingerprints of every user of a dataset, flattened into a
@@ -22,6 +23,7 @@ type Set struct {
 	bits  int
 	words int
 	sigs  []uint64 // len = numUsers × words
+	ones  []int32  // per-user fingerprint popcounts, fixed at build time
 	n     int
 }
 
@@ -44,12 +46,18 @@ func New(d *dataset.Dataset, bitsN int, seed uint32) (*Set, error) {
 	for i := range pos {
 		pos[i] = jenkins.Hash32(uint32(i), seed) % uint32(bitsN)
 	}
+	s.ones = make([]int32, d.NumUsers())
 	for u, p := range d.Profiles {
 		sig := s.sigs[u*words : (u+1)*words]
 		for _, it := range p {
 			b := pos[it]
 			sig[b>>6] |= 1 << (b & 63)
 		}
+		n := 0
+		for _, w := range sig {
+			n += bits.OnesCount64(w)
+		}
+		s.ones[u] = int32(n)
 	}
 	return s, nil
 }
@@ -91,13 +99,22 @@ func (s *Set) Sim(u, v int32) float64 {
 	return float64(inter) / float64(union)
 }
 
+// Gather implements similarity.Localizer: it copies the cluster
+// members' fingerprints into dst's contiguous scratch block along with
+// their build-time popcounts. The resulting kernel serves Jaccard
+// estimates from a single AND-popcount per pair
+// (union = ones[i] + ones[j] − inter), halving the popcount work of Sim
+// on top of removing the interface dispatch and global-id indexing.
+func (s *Set) Gather(ids []int32, dst *similarity.Local) {
+	sigs, ones := dst.InitBits(ids, s.words)
+	for i, id := range ids {
+		copy(sigs[i*s.words:(i+1)*s.words], s.sigs[int(id)*s.words:(int(id)+1)*s.words])
+		ones[i] = s.ones[id]
+	}
+}
+
+var _ similarity.Localizer = (*Set)(nil)
+
 // Ones returns the popcount of user u's fingerprint; useful to gauge
 // saturation (estimates degrade as fingerprints fill up).
-func (s *Set) Ones(u int32) int {
-	sig := s.Signature(u)
-	n := 0
-	for _, w := range sig {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
+func (s *Set) Ones(u int32) int { return int(s.ones[u]) }

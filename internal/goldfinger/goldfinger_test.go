@@ -185,3 +185,41 @@ func BenchmarkSim1024(b *testing.B) {
 		s.Sim(0, 1)
 	}
 }
+
+// TestGatherEquivalence: the gathered bit-kernel must agree exactly
+// with the global Sim — the AND-popcount plus precomputed per-member
+// popcounts computes the same integer intersection and union, so the
+// float64 quotient is bit-identical.
+func TestGatherEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	profiles := make([][]int32, 120)
+	for i := range profiles {
+		p := make([]int32, rng.Intn(60))
+		for j := range p {
+			p[j] = int32(rng.Intn(4000))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("gather", profiles, 4000)
+	s := MustNew(d, 256, 9)
+
+	var loc similarity.Local
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + rng.Intn(40)
+		perm := rng.Perm(len(profiles))
+		ids := make([]int32, m)
+		for i := range ids {
+			ids[i] = int32(perm[i])
+		}
+		s.Gather(ids, &loc)
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				got, want := loc.Sim(i, j), s.Sim(ids[i], ids[j])
+				if got != want {
+					t.Fatalf("trial %d pair (%d,%d): gathered %v != global %v",
+						trial, ids[i], ids[j], got, want)
+				}
+			}
+		}
+	}
+}

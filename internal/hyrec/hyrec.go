@@ -8,6 +8,7 @@
 package hyrec
 
 import (
+	"math/rand"
 	"sync"
 	"sync/atomic"
 
@@ -41,7 +42,7 @@ func (o *Options) setDefaults() {
 	if o.MaxIter == 0 {
 		o.MaxIter = 30
 	}
-	if o.Workers == 0 {
+	if o.Workers < 1 {
 		o.Workers = 1
 	}
 }
@@ -73,6 +74,72 @@ func Refine(g *knng.Graph, p similarity.Provider, o Options) Result {
 	return refine(g, p, o)
 }
 
+// denseSet deduplicates candidate ids over a dense 0..n-1 universe
+// using epoch stamps: mark[v] == epoch means v is already present this
+// round, so begin resets the set in O(1). It replaces the per-user
+// map[int32]struct{} of earlier versions; unlike map iteration, cand
+// preserves insertion order, making candidate generation deterministic.
+type denseSet struct {
+	mark  []uint32
+	epoch uint32
+	cand  []int32
+}
+
+// resize prepares the set for a universe of n members, reusing prior
+// storage when possible.
+func (d *denseSet) resize(n int) {
+	if cap(d.mark) < n {
+		d.mark = make([]uint32, n)
+		d.epoch = 0
+	} else {
+		d.mark = d.mark[:n]
+	}
+}
+
+// begin starts a new round, discarding the previous round's members.
+func (d *denseSet) begin() {
+	d.epoch++
+	if d.epoch == 0 { // wrapped: all stamps are stale
+		// Clear the full capacity: slots beyond the current universe
+		// may hold pre-wrap stamps a later resize would re-expose.
+		clear(d.mark[:cap(d.mark)])
+		d.epoch = 1
+	}
+	d.cand = d.cand[:0]
+}
+
+// stamp marks v as present without collecting it as a candidate.
+func (d *denseSet) stamp(v int32) { d.mark[v] = d.epoch }
+
+// add collects v unless already present.
+func (d *denseSet) add(v int32) {
+	if d.mark[v] != d.epoch {
+		d.mark[v] = d.epoch
+		d.cand = append(d.cand, v)
+	}
+}
+
+// collectCandidates stamps u's current neighborhood and gathers u's
+// neighbors-of-neighbors into ds.cand: through a fresh u→v edge all of
+// v's neighbors qualify, through a stale edge only v's fresh neighbors
+// do (the new-flag optimization). The caller must have called ds.begin
+// and stamped u itself.
+func collectCandidates(ds *denseSet, allSnap, newSnap [][]int32, u int) {
+	for _, v := range allSnap[u] {
+		ds.stamp(v)
+	}
+	for _, v := range newSnap[u] {
+		for _, w2 := range allSnap[v] {
+			ds.add(w2)
+		}
+	}
+	for _, v := range allSnap[u] {
+		for _, w2 := range newSnap[v] {
+			ds.add(w2)
+		}
+	}
+}
+
 // refine is the core loop shared by Build and Local. It uses the standard
 // new-flag optimization: a pair (u, w) reached through v is evaluated only
 // if the edge u→v or the edge v→w appeared during the previous iteration,
@@ -87,6 +154,13 @@ func refine(g *knng.Graph, p similarity.Provider, o Options) Result {
 	shared := knng.NewShared(g)
 	allSnap := make([][]int32, n)
 	newSnap := make([][]int32, n)
+	// One dense candidate set per worker; the sets persist across
+	// iterations (worker w always strides from w), so the O(n) zeroing
+	// is paid once per run, not per iteration.
+	sets := make([]denseSet, o.Workers)
+	for w := range sets {
+		sets[w].resize(n)
+	}
 	for iter := 0; iter < o.MaxIter; iter++ {
 		// Snapshot neighborhoods and consume the New flags set during the
 		// previous iteration.
@@ -98,34 +172,18 @@ func refine(g *knng.Graph, p similarity.Provider, o Options) Result {
 		var wg sync.WaitGroup
 		for w := 0; w < o.Workers; w++ {
 			wg.Add(1)
-			go func(start int) {
+			go func(ds *denseSet, start int) {
 				defer wg.Done()
-				seen := make(map[int32]struct{}, o.K*o.K)
 				for u := start; u < n; u += o.Workers {
-					clear(seen)
 					uid := int32(u)
-					// Candidates through a fresh u→v edge: all of v's
-					// neighbors.
-					for _, v := range newSnap[u] {
-						for _, w2 := range allSnap[v] {
-							seen[w2] = struct{}{}
-						}
-					}
-					// Candidates through a stale u→v edge: only v's fresh
-					// neighbors.
-					for _, v := range allSnap[u] {
-						for _, w2 := range newSnap[v] {
-							seen[w2] = struct{}{}
-						}
-					}
-					for w2 := range seen {
-						// Skip self and anything already in u's snapshot;
-						// the snapshot is immutable during the iteration so
-						// this read is race-free (Insert re-checks under
-						// the stripe lock).
-						if w2 == uid || containsID(allSnap[u], w2) {
-							continue
-						}
+					// Pre-stamp self and u's snapshot so they never enter
+					// the candidate list; the snapshot is immutable during
+					// the iteration so this read is race-free (Insert
+					// re-checks under the stripe lock).
+					ds.begin()
+					ds.stamp(uid)
+					collectCandidates(ds, allSnap, newSnap, u)
+					for _, w2 := range ds.cand {
 						s := p.Sim(uid, w2)
 						ok1 := shared.Insert(uid, w2, s)
 						ok2 := shared.Insert(w2, uid, s)
@@ -137,7 +195,7 @@ func refine(g *knng.Graph, p similarity.Provider, o Options) Result {
 						}
 					}
 				}
-			}(w)
+			}(&sets[w], w)
 		}
 		wg.Wait()
 		res.Iterations++
@@ -151,46 +209,117 @@ func refine(g *knng.Graph, p similarity.Provider, o Options) Result {
 	return res
 }
 
-func containsID(s []int32, v int32) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
+// Scratch holds the reusable per-worker state of LocalInto: the local
+// neighbor lists, the per-iteration snapshots, the epoch-stamped dense
+// candidate set, and the RNG. The zero value is ready to use; reusing
+// one Scratch across clusters makes steady-state solving
+// allocation-free.
+type Scratch struct {
+	lists   []knng.List
+	allSnap [][]int32
+	newSnap [][]int32
+	set     denseSet
+	rng     *rand.Rand
 }
 
-// Local runs Hyrec restricted to the users in ids: the candidate universe
-// is ids, similarities are evaluated through p on global ids, and the
-// returned lists (parallel to ids) reference global ids. This is C²'s
-// local solver for clusters at least ρ·k² strong.
-func Local(ids []int32, k int, p similarity.Provider, o Options) []knng.List {
+// reuseRows recycles a slice of row buffers, preserving the capacity of
+// previously grown rows.
+func reuseRows(rows [][]int32, n int) [][]int32 {
+	if cap(rows) < n {
+		grown := make([][]int32, n)
+		copy(grown, rows[:cap(rows)])
+		return grown
+	}
+	return rows[:n]
+}
+
+// LocalInto runs Hyrec restricted to the gathered cluster loc: the
+// candidate universe is loc's members, similarities are served by loc's
+// zero-dispatch kernel on local indices, and the returned lists
+// (parallel to loc.IDs()) reference global ids. The lists alias s's
+// scratch and are valid only until the next LocalInto call on s. This
+// is C²'s local solver for clusters at least ρ·k² strong; it is
+// sequential (o.Workers is ignored) — parallelism comes from processing
+// many clusters at once.
+func LocalInto(loc *similarity.Local, k int, o Options, s *Scratch) []knng.List {
 	o.K = k
-	o.Workers = 1
 	o.setDefaults()
-	sub := &subsetProvider{ids: ids, p: p}
-	g := knng.New(len(ids), k)
-	knng.RandomInit(g, sub, o.Seed)
-	refine(g, sub, o)
-	lists := make([]knng.List, len(ids))
+	m := loc.Len()
+	s.lists = knng.ReuseLists(s.lists, m, k)
+	lists := s.lists
+	if s.rng == nil {
+		s.rng = rand.New(rand.NewSource(o.Seed))
+	} else {
+		s.rng.Seed(o.Seed)
+	}
+	// Random k-degree start, mirroring knng.RandomInit over local
+	// indices (same RNG sequence for a given seed).
+	for u := 0; u < m; u++ {
+		for lists[u].Len() < k && lists[u].Len() < m-1 {
+			v := s.rng.Intn(m)
+			if v == u || lists[u].Contains(int32(v)) {
+				continue
+			}
+			lists[u].Insert(int32(v), loc.Sim(u, v))
+		}
+	}
+	refineLocal(loc, lists, o, s)
 	for i := range lists {
-		lists[i].K = k
-		lists[i].H = append(lists[i].H, g.Lists[i].H...)
-		for j := range lists[i].H {
-			lists[i].H[j].ID = ids[lists[i].H[j].ID]
+		h := lists[i].H
+		for x := range h {
+			h[x].ID = loc.ID(int(h[x].ID))
 		}
 	}
 	return lists
 }
 
-// subsetProvider exposes a cluster as a dense 0..len(ids)-1 population.
-type subsetProvider struct {
-	ids []int32
-	p   similarity.Provider
+// refineLocal is the sequential, allocation-free counterpart of refine
+// for cluster-local graphs: no stripe locks, no atomics, candidates
+// deduplicated through the scratch's epoch-stamped dense set.
+func refineLocal(loc *similarity.Local, lists []knng.List, o Options, s *Scratch) {
+	m := len(lists)
+	if m < 2 {
+		return
+	}
+	threshold := int64(o.Delta * float64(o.K) * float64(m))
+	s.allSnap = reuseRows(s.allSnap, m)
+	s.newSnap = reuseRows(s.newSnap, m)
+	s.set.resize(m)
+	for iter := 0; iter < o.MaxIter; iter++ {
+		for u := 0; u < m; u++ {
+			s.allSnap[u] = lists[u].IDs(s.allSnap[u][:0])
+			s.newSnap[u] = lists[u].ResetNew(s.newSnap[u][:0])
+		}
+		updates := int64(0)
+		for u := 0; u < m; u++ {
+			s.set.begin()
+			s.set.stamp(int32(u))
+			collectCandidates(&s.set, s.allSnap, s.newSnap, u)
+			for _, w2 := range s.set.cand {
+				sim := loc.Sim(u, int(w2))
+				if lists[u].Insert(w2, sim) {
+					updates++
+				}
+				if lists[w2].Insert(int32(u), sim) {
+					updates++
+				}
+			}
+		}
+		if updates < threshold {
+			return
+		}
+	}
 }
 
-func (s *subsetProvider) Sim(u, v int32) float64 {
-	return s.p.Sim(s.ids[u], s.ids[v])
+// Local runs Hyrec restricted to the users in ids, gathering p into a
+// fresh cluster-local kernel first. The returned lists are parallel to
+// ids and hold global ids. Hot callers (core) use LocalInto with
+// per-worker scratch instead.
+func Local(ids []int32, k int, p similarity.Provider, o Options) []knng.List {
+	var loc similarity.Local
+	similarity.GatherInto(p, ids, &loc)
+	var s Scratch
+	return LocalInto(&loc, k, o, &s)
 }
 
 // SimBound returns the paper's bound on the number of similarities a

@@ -176,3 +176,60 @@ func BenchmarkBuildRing500(b *testing.B) {
 		Build(500, p, Options{K: 10, Seed: 1, Workers: 2})
 	}
 }
+
+// TestLocalIntoScratchReuse: running many clusters through one reused
+// Scratch must produce exactly the lists a fresh-scratch Local call
+// produces — stale snapshots, marks, or heap storage must never leak
+// from one cluster into the next.
+func TestLocalIntoScratchReuse(t *testing.T) {
+	p := similarity.Func(func(u, v int32) float64 {
+		d := math.Abs(float64(u - v))
+		return 1 / (1 + d/5)
+	})
+	var loc similarity.Local
+	var s Scratch
+	for trial := 0; trial < 6; trial++ {
+		m := 10 + (trial*31)%70
+		ids := make([]int32, m)
+		for i := range ids {
+			ids[i] = int32(trial*7 + i*2)
+		}
+		o := Options{Seed: int64(trial)}
+		similarity.GatherInto(p, ids, &loc)
+		got := LocalInto(&loc, 6, o, &s)
+		want := Local(ids, 6, p, Options{Seed: int64(trial)})
+		for i := range want {
+			if len(got[i].H) != len(want[i].H) {
+				t.Fatalf("trial %d list %d: %d neighbors, want %d", trial, i, len(got[i].H), len(want[i].H))
+			}
+			for j := range want[i].H {
+				if got[i].H[j].ID != want[i].H[j].ID || got[i].H[j].Sim != want[i].H[j].Sim {
+					t.Fatalf("trial %d list %d slot %d: (%d,%v) vs (%d,%v)", trial, i, j,
+						got[i].H[j].ID, got[i].H[j].Sim, want[i].H[j].ID, want[i].H[j].Sim)
+				}
+			}
+		}
+	}
+}
+
+// TestLocalDeterministic: the epoch-stamped candidate set iterates in
+// insertion order, so local Hyrec is fully deterministic (the old
+// map-based candidate set was not).
+func TestLocalDeterministic(t *testing.T) {
+	ids := make([]int32, 80)
+	for i := range ids {
+		ids[i] = int32(i * 3)
+	}
+	p := similarity.Func(func(u, v int32) float64 {
+		return float64((int64(u)*2654435761+int64(v)*40503)%1000) / 1000
+	})
+	a := Local(ids, 7, p, Options{Seed: 5})
+	b := Local(ids, 7, p, Options{Seed: 5})
+	for i := range a {
+		for j := range a[i].H {
+			if a[i].H[j] != b[i].H[j] {
+				t.Fatalf("list %d slot %d differs across identical runs", i, j)
+			}
+		}
+	}
+}

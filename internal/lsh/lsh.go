@@ -38,7 +38,7 @@ func (o *Options) setDefaults() {
 	if o.T == 0 {
 		o.T = 10
 	}
-	if o.Workers == 0 {
+	if o.Workers < 1 {
 		o.Workers = 1
 	}
 }
@@ -100,11 +100,21 @@ func Build(d *dataset.Dataset, p similarity.Provider, o Options) (*knng.Graph, S
 	for i := range buckets {
 		sizes[i] = len(buckets[i])
 	}
-	schedule.Run(o.Workers, schedule.LargestFirst(sizes), func(job int) {
+	// Per-worker scratch: buckets are gathered once into a cluster-local
+	// similarity kernel and solved with reusable buffers, so steady-state
+	// bucket processing allocates nothing.
+	type workerScratch struct {
+		loc similarity.Local
+		bf  bruteforce.Scratch
+	}
+	scratches := make([]workerScratch, o.Workers)
+	schedule.Run(o.Workers, schedule.LargestFirst(sizes), func(worker, job int) {
 		ids := buckets[job]
-		lists := bruteforce.Local(ids, o.K, p)
-		for i, l := range lists {
-			shared.MergeUser(ids[i], l.H)
+		ws := &scratches[worker]
+		similarity.GatherInto(p, ids, &ws.loc)
+		lists := bruteforce.LocalInto(&ws.loc, o.K, &ws.bf)
+		for i := range lists {
+			shared.MergeUser(ids[i], lists[i].H)
 		}
 	})
 	return g, stats

@@ -40,9 +40,11 @@ func FIFO(n int) []int {
 // Run processes every job in order on `workers` goroutines. The queue is a
 // shared atomic cursor over the order slice: each worker repeatedly claims
 // the next unprocessed job, which realizes the paper's "synchronized,
-// decreasing priority queue" without locking. Run returns once every job
-// has completed.
-func Run(workers int, order []int, fn func(job int)) {
+// decreasing priority queue" without locking. fn receives the claiming
+// worker's index (0..workers-1) alongside the job, so callers can keep
+// per-worker scratch state without synchronization. Run returns once
+// every job has completed.
+func Run(workers int, order []int, fn func(worker, job int)) {
 	if workers < 1 {
 		workers = 1
 	}
@@ -53,16 +55,16 @@ func Run(workers int, order []int, fn func(job int)) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= len(order) {
 					return
 				}
-				fn(order[i])
+				fn(worker, order[i])
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

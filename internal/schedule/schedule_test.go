@@ -65,7 +65,7 @@ func TestFIFO(t *testing.T) {
 func TestRunExecutesEveryJobExactlyOnce(t *testing.T) {
 	const jobs = 500
 	counts := make([]atomic.Int32, jobs)
-	Run(8, FIFO(jobs), func(job int) {
+	Run(8, FIFO(jobs), func(_, job int) {
 		counts[job].Add(1)
 	})
 	for i := range counts {
@@ -77,7 +77,7 @@ func TestRunExecutesEveryJobExactlyOnce(t *testing.T) {
 
 func TestRunZeroJobs(t *testing.T) {
 	ran := false
-	Run(4, nil, func(int) { ran = true })
+	Run(4, nil, func(int, int) { ran = true })
 	if ran {
 		t.Error("callback invoked with no jobs")
 	}
@@ -87,7 +87,7 @@ func TestRunSingleWorkerPreservesOrder(t *testing.T) {
 	var mu sync.Mutex
 	var got []int
 	order := []int{4, 2, 0, 3, 1}
-	Run(1, order, func(job int) {
+	Run(1, order, func(_, job int) {
 		mu.Lock()
 		got = append(got, job)
 		mu.Unlock()
@@ -101,7 +101,7 @@ func TestRunSingleWorkerPreservesOrder(t *testing.T) {
 
 func TestRunClampsWorkers(t *testing.T) {
 	n := 0
-	Run(0, FIFO(3), func(int) { n++ }) // workers < 1 clamps to 1
+	Run(0, FIFO(3), func(int, int) { n++ }) // workers < 1 clamps to 1
 	if n != 3 {
 		t.Errorf("ran %d jobs, want 3", n)
 	}
@@ -116,7 +116,7 @@ func TestRunConcurrent(t *testing.T) {
 		sizes[i] = i
 	}
 	var total atomic.Int64
-	Run(4, LargestFirst(sizes), func(job int) {
+	Run(4, LargestFirst(sizes), func(_, job int) {
 		total.Add(int64(sizes[job]))
 	})
 	want := int64(63 * 64 / 2)

@@ -147,10 +147,3 @@ func Equal(a, b []int32) bool {
 	}
 	return true
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

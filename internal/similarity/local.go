@@ -1,0 +1,230 @@
+package similarity
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"c2knn/internal/sets"
+)
+
+// Localizer is the optional fast path a Provider may implement for
+// cluster-local solvers. Gather copies everything needed to compare the
+// users in ids into dst's reusable scratch buffers, after which
+// dst.Sim(i, j) serves pair similarities by local index with no
+// interface dispatch and no global-id re-slicing — the tight kernel the
+// paper's "number of similarity computations" cost model assumes.
+//
+// Implementations must leave dst fully initialized for ids; dst may
+// have been used for a different (differently sized) cluster before.
+// Custom providers initialize dst through one of the exported hooks:
+// InitBits for dense bit-signature kernels, or InitProvider to serve
+// pairs through their own Sim (still skipping the per-pair Localizer
+// type assertion and gaining the gathered id table).
+type Localizer interface {
+	Gather(ids []int32, dst *Local)
+}
+
+// localKind selects Local's similarity kernel. Local is deliberately a
+// concrete struct dispatching on this enum rather than an interface:
+// the per-pair call in the local solvers' hot loops compiles to a
+// direct call plus one predictable branch instead of an itab lookup.
+type localKind uint8
+
+const (
+	// kindProvider falls back to Provider dispatch on global ids.
+	kindProvider localKind = iota
+	// kindBits is the dense bit-signature kernel (GoldFinger): Jaccard
+	// from AND-popcounts over a gathered contiguous block, with the
+	// union derived from precomputed per-member popcounts.
+	kindBits
+	// kindJaccard and kindCosine compare gathered raw-profile slices.
+	kindJaccard
+	kindCosine
+)
+
+// Local is a gathered cluster-local similarity kernel. It answers
+// Sim(i, j) for local member indices 0..Len()-1 and maps them back to
+// global user ids with ID. The zero value is ready for GatherInto;
+// reusing one Local across many clusters reuses its scratch buffers, so
+// steady-state gathering allocates nothing.
+//
+// A Local is confined to the worker that gathered it; it must not be
+// shared across goroutines.
+type Local struct {
+	kind localKind
+	ids  []int32
+
+	// Bit-signature kernel: a len(ids)×words contiguous block plus
+	// per-member popcounts, so Jaccard needs only the AND popcount per
+	// pair (union = ones[i] + ones[j] − inter).
+	words int
+	sigs  []uint64
+	ones  []int32
+
+	// Raw-profile kernels: gathered profile slice headers, indexed by
+	// local id (one indirection instead of the global profiles table).
+	profs [][]int32
+
+	// Provider fallback.
+	p Provider
+
+	// counter, when set, is bumped once per Sim call; Counting providers
+	// install it so gathered kernels stay instrumented.
+	counter *atomic.Int64
+}
+
+// Len returns the number of members gathered.
+func (l *Local) Len() int { return len(l.ids) }
+
+// ID returns the global user id of local member i.
+func (l *Local) ID(i int) int32 { return l.ids[i] }
+
+// IDs returns the gathered members' global ids. The slice aliases the
+// one passed to Gather and must not be mutated.
+func (l *Local) IDs() []int32 { return l.ids }
+
+func (l *Local) reset(kind localKind, ids []int32) {
+	l.kind = kind
+	l.ids = ids
+	l.p = nil
+	l.counter = nil
+}
+
+// InitBits configures l as a dense bit-signature kernel over ids and
+// returns the signature block (len(ids)×words uint64s, member i at
+// words i·words..(i+1)·words) and the per-member popcount buffer, both
+// reused from l's scratch, for the Localizer to fill.
+func (l *Local) InitBits(ids []int32, words int) (sigs []uint64, ones []int32) {
+	l.reset(kindBits, ids)
+	l.words = words
+	if need := len(ids) * words; cap(l.sigs) < need {
+		l.sigs = make([]uint64, need)
+	} else {
+		l.sigs = l.sigs[:need]
+	}
+	if cap(l.ones) < len(ids) {
+		l.ones = make([]int32, len(ids))
+	} else {
+		l.ones = l.ones[:len(ids)]
+	}
+	return l.sigs, l.ones
+}
+
+// InitProvider configures l to serve pairs by dispatching to p on
+// global ids — the safe initializer for external Localizer
+// implementations that have no dense representation to gather.
+func (l *Local) InitProvider(ids []int32, p Provider) {
+	l.reset(kindProvider, ids)
+	l.p = p
+}
+
+// initProfiles configures l as a raw-profile kernel, gathering the
+// members' profile slice headers into contiguous scratch.
+func (l *Local) initProfiles(kind localKind, ids []int32, profiles [][]int32) {
+	l.reset(kind, ids)
+	l.profs = l.profs[:0]
+	for _, id := range ids {
+		l.profs = append(l.profs, profiles[id])
+	}
+}
+
+// GatherInto prepares dst to serve pair similarities within ids: via
+// p's own Localizer implementation when it has one, through a generic
+// Provider-dispatch kernel otherwise. dst is reusable across calls of
+// any cluster size.
+func GatherInto(p Provider, ids []int32, dst *Local) {
+	if loc, ok := p.(Localizer); ok {
+		loc.Gather(ids, dst)
+		return
+	}
+	dst.InitProvider(ids, p)
+}
+
+// Sim returns the similarity of local members i and j. All kernels
+// produce bit-identical float64s to the corresponding global
+// Provider.Sim — local solvers built on either path yield the same
+// graphs.
+func (l *Local) Sim(i, j int) float64 {
+	if l.counter != nil {
+		l.counter.Add(1)
+	}
+	switch l.kind {
+	case kindBits:
+		w := l.words
+		var inter int
+		if w == 16 {
+			// The paper's default 1024-bit fingerprints: a fully
+			// unrolled AND-popcount over fixed-size array views (no
+			// loop, no bounds checks).
+			a := (*[16]uint64)(l.sigs[i*16:])
+			b := (*[16]uint64)(l.sigs[j*16:])
+			inter = bits.OnesCount64(a[0]&b[0]) + bits.OnesCount64(a[1]&b[1]) +
+				bits.OnesCount64(a[2]&b[2]) + bits.OnesCount64(a[3]&b[3]) +
+				bits.OnesCount64(a[4]&b[4]) + bits.OnesCount64(a[5]&b[5]) +
+				bits.OnesCount64(a[6]&b[6]) + bits.OnesCount64(a[7]&b[7]) +
+				bits.OnesCount64(a[8]&b[8]) + bits.OnesCount64(a[9]&b[9]) +
+				bits.OnesCount64(a[10]&b[10]) + bits.OnesCount64(a[11]&b[11]) +
+				bits.OnesCount64(a[12]&b[12]) + bits.OnesCount64(a[13]&b[13]) +
+				bits.OnesCount64(a[14]&b[14]) + bits.OnesCount64(a[15]&b[15])
+		} else {
+			a := l.sigs[i*w : (i+1)*w]
+			b := l.sigs[j*w : (j+1)*w]
+			b = b[:len(a)] // bounds-check elimination in the loop below
+			for k := range a {
+				inter += bits.OnesCount64(a[k] & b[k])
+			}
+		}
+		union := int(l.ones[i]) + int(l.ones[j]) - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	case kindJaccard:
+		a, b := l.profs[i], l.profs[j]
+		inter := sets.IntersectCount(a, b)
+		union := len(a) + len(b) - inter
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	case kindCosine:
+		a, b := l.profs[i], l.profs[j]
+		if len(a) == 0 || len(b) == 0 {
+			return 0
+		}
+		inter := sets.IntersectCount(a, b)
+		return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+	default:
+		return l.p.Sim(l.ids[i], l.ids[j])
+	}
+}
+
+// Gather implements Localizer.
+func (j *Jaccard) Gather(ids []int32, dst *Local) {
+	dst.initProfiles(kindJaccard, ids, j.profiles)
+}
+
+// Gather implements Localizer.
+func (c *Cosine) Gather(ids []int32, dst *Local) {
+	dst.initProfiles(kindCosine, ids, c.profiles)
+}
+
+// Gather implements Localizer: when the wrapped provider has a fast
+// gather path it is used and the resulting kernel keeps counting;
+// otherwise the generic kernel dispatches through c and counts that
+// way.
+func (c *Counting) Gather(ids []int32, dst *Local) {
+	if loc, ok := c.P.(Localizer); ok {
+		loc.Gather(ids, dst)
+		dst.counter = &c.n
+		return
+	}
+	dst.InitProvider(ids, c)
+}
+
+var (
+	_ Localizer = (*Jaccard)(nil)
+	_ Localizer = (*Cosine)(nil)
+	_ Localizer = (*Counting)(nil)
+)

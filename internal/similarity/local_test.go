@@ -1,0 +1,139 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+
+	"c2knn/internal/dataset"
+)
+
+// randomTestData builds a small dataset with irregular profile sizes,
+// including empty profiles, plus random clusters over its users.
+func randomTestData(seed int64) (*dataset.Dataset, [][]int32) {
+	rng := rand.New(rand.NewSource(seed))
+	const users, items = 200, 500
+	profiles := make([][]int32, users)
+	for u := range profiles {
+		n := rng.Intn(40) // 0..39 items; some users stay empty
+		seen := map[int32]bool{}
+		for len(profiles[u]) < n {
+			it := int32(rng.Intn(items))
+			if !seen[it] {
+				seen[it] = true
+				profiles[u] = append(profiles[u], it)
+			}
+		}
+		// keep the sorted, duplicate-free invariant
+		for i := 1; i < len(profiles[u]); i++ {
+			for j := i; j > 0 && profiles[u][j] < profiles[u][j-1]; j-- {
+				profiles[u][j], profiles[u][j-1] = profiles[u][j-1], profiles[u][j]
+			}
+		}
+	}
+	d := &dataset.Dataset{Name: "rand", NumItems: items, Profiles: profiles}
+	clusters := make([][]int32, 20)
+	for c := range clusters {
+		m := 2 + rng.Intn(30)
+		perm := rng.Perm(users)
+		for i := 0; i < m; i++ {
+			clusters[c] = append(clusters[c], int32(perm[i]))
+		}
+	}
+	return d, clusters
+}
+
+// checkLocalMatchesGlobal asserts that the gathered kernel agrees
+// exactly (bit-identically) with the global Provider path on every pair
+// of every cluster.
+func checkLocalMatchesGlobal(t *testing.T, p Provider, clusters [][]int32) {
+	t.Helper()
+	var loc Local // reused across clusters, exercising scratch reuse
+	for ci, ids := range clusters {
+		GatherInto(p, ids, &loc)
+		if loc.Len() != len(ids) {
+			t.Fatalf("cluster %d: Len() = %d, want %d", ci, loc.Len(), len(ids))
+		}
+		for i := range ids {
+			if loc.ID(i) != ids[i] {
+				t.Fatalf("cluster %d: ID(%d) = %d, want %d", ci, i, loc.ID(i), ids[i])
+			}
+			for j := range ids {
+				got, want := loc.Sim(i, j), p.Sim(ids[i], ids[j])
+				if got != want {
+					t.Fatalf("cluster %d pair (%d,%d): local %v != global %v",
+						ci, ids[i], ids[j], got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestJaccardLocalEquivalence(t *testing.T) {
+	d, clusters := randomTestData(1)
+	checkLocalMatchesGlobal(t, NewJaccard(d), clusters)
+}
+
+func TestCosineLocalEquivalence(t *testing.T) {
+	d, clusters := randomTestData(2)
+	checkLocalMatchesGlobal(t, NewCosine(d), clusters)
+}
+
+func TestGenericFallbackEquivalence(t *testing.T) {
+	_, clusters := randomTestData(3)
+	// Func does not implement Localizer, so GatherInto must fall back to
+	// the Provider-dispatch kernel.
+	p := Func(func(u, v int32) float64 { return float64(u^v) / 512 })
+	if _, ok := Provider(p).(Localizer); ok {
+		t.Fatal("Func unexpectedly implements Localizer; fallback untested")
+	}
+	checkLocalMatchesGlobal(t, p, clusters)
+}
+
+func TestCountingGatherKeepsCounting(t *testing.T) {
+	d, clusters := randomTestData(4)
+
+	// Localizer inner: the gathered kernel must bump the counter itself.
+	c := NewCounting(NewJaccard(d))
+	var loc Local
+	GatherInto(c, clusters[0], &loc)
+	m := len(clusters[0])
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			loc.Sim(i, j)
+		}
+	}
+	if want := int64(m * (m - 1) / 2); c.Count() != want {
+		t.Errorf("counting through gathered kernel: %d sims, want %d", c.Count(), want)
+	}
+
+	// Non-Localizer inner: the fallback kernel dispatches through the
+	// Counting provider, which counts the calls.
+	c2 := NewCounting(Func(func(u, v int32) float64 { return 0.5 }))
+	GatherInto(c2, clusters[0], &loc)
+	loc.Sim(0, 1)
+	loc.Sim(1, 2)
+	if c2.Count() != 2 {
+		t.Errorf("counting through fallback kernel: %d sims, want 2", c2.Count())
+	}
+}
+
+func TestLocalScratchReuseAcrossSizes(t *testing.T) {
+	d, _ := randomTestData(5)
+	p := NewJaccard(d)
+	var loc Local
+	// Shrinking and growing clusters must not leave stale members behind.
+	big := []int32{0, 1, 2, 3, 4, 5, 6, 7}
+	small := []int32{9, 10}
+	GatherInto(p, big, &loc)
+	GatherInto(p, small, &loc)
+	if loc.Len() != 2 {
+		t.Fatalf("Len after shrink = %d, want 2", loc.Len())
+	}
+	if got, want := loc.Sim(0, 1), p.Sim(9, 10); got != want {
+		t.Errorf("post-shrink Sim = %v, want %v", got, want)
+	}
+	GatherInto(p, big, &loc)
+	if got, want := loc.Sim(6, 7), p.Sim(6, 7); got != want {
+		t.Errorf("post-regrow Sim = %v, want %v", got, want)
+	}
+}

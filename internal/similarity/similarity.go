@@ -3,6 +3,17 @@
 // paper: Jaccard (§II-A, the paper's default) and cosine over binary
 // profiles. A Counting decorator instruments the number of similarity
 // computations, the paper's primary cost model.
+//
+// The package has two call paths. Provider is the global interface:
+// Sim(u, v) on global user ids, dynamically dispatched — fine for
+// occasional evaluations (quality metrics, random inits). The hot path
+// of every cluster-local solver instead goes through Local, a concrete
+// gathered kernel built once per cluster (see Localizer and
+// GatherInto in local.go): the cluster's data is copied into contiguous
+// scratch memory, after which each pair similarity is a direct call on
+// local indices with no interface dispatch, no global-id re-slicing,
+// and — for bit-signature providers like GoldFinger — half the popcount
+// work. Both paths return bit-identical values.
 package similarity
 
 import (

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and record results for regression tracking.
+# BENCH_PATTERN narrows the run (default: the kernel microbenchmarks,
+# which are the fast, low-noise regression canaries; use BENCH_PATTERN=.
+# for the full paper suite).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkKernel}"
+COUNT="${BENCH_COUNT:-6}"
+
+mkdir -p benchmarks
+go test -run='^$' -bench="$PATTERN" -benchmem -count="$COUNT" . | tee benchmarks/latest.txt
+echo "wrote benchmarks/latest.txt"
