@@ -32,7 +32,11 @@ type Graph = knng.Graph
 type Neighbor = knng.Neighbor
 
 // Similarity computes user-to-user similarities; implementations must be
-// safe for concurrent use.
+// safe for concurrent use and must return non-negative, non-NaN values
+// (every built-in metric maps into [0, 1]). Degenerate values are
+// rejected at neighbor-list insertion — a NaN would otherwise corrupt
+// the bounded k-heaps the solvers and the merge rely on — so a signed
+// metric must be shifted into [0, ∞) before being used as a provider.
 type Similarity = similarity.Provider
 
 // Localizer is the optional fast-path interface a Similarity may
@@ -48,10 +52,14 @@ type LocalSim = similarity.Local
 
 // BuildOptions parameterizes BuildC2; the zero value is the paper's
 // configuration (k=30, b=4096, t=8, N=2000, ρ=5, recursive splitting on,
-// largest-first scheduling, hybrid local solver).
+// largest-first scheduling, hybrid local solver) with the pipelined
+// build enabled. Set DisablePipeline to restore the historical
+// cluster-everything-then-solve barrier.
 type BuildOptions = core.Options
 
-// C2Stats reports clustering and timing details of a BuildC2 run.
+// C2Stats reports clustering and timing details of a BuildC2 run,
+// including the per-phase wall-clock times and the clustering/solving
+// overlap recovered by the pipeline (OverlapTime, MaxQueueDepth).
 type C2Stats = core.Stats
 
 // SynthConfig describes a synthetic dataset; see Presets.
@@ -105,6 +113,15 @@ func NewGoldFinger(d *Dataset, bits int) (Similarity, error) {
 // Conquer. sim is consulted for every similarity evaluation — pass a
 // NewGoldFinger provider to reproduce the paper's configuration, or
 // ExactJaccard for exact similarities.
+//
+// Clustering and solving are pipelined: the t clustering configurations
+// hash concurrently and stream finalized clusters into a
+// size-prioritized queue drained by the solver pool, so the first
+// clusters are solved and merged while later configurations are still
+// hashing. For a fixed Seed the produced cluster set — and each
+// cluster's local solution — is identical to the barrier path's
+// (opts.DisablePipeline); only the merge interleaving, and therefore
+// tie-breaking among equal-similarity neighbors, may differ.
 func BuildC2(d *Dataset, sim Similarity, opts BuildOptions) (*Graph, C2Stats) {
 	if opts.Workers == 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)

@@ -10,10 +10,11 @@
 //	c2bench -exp all -scale 0.05 -workers 4
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// theory, ablations, all.
+// theory, ablations, pipeline, all.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,7 +26,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, all")
+		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, all")
+		jsonOut  = flag.String("json", "", "write the pipeline experiment's summary as JSON to this file (CI records it as benchmarks/BENCH_pipeline.json)")
 		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1 = paper size)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 42, "master random seed")
@@ -61,8 +63,19 @@ func main() {
 		"fig8":      func() error { _, err := env.Fig8(); return err },
 		"theory":    func() error { _, err := env.Theory(); return err },
 		"ablations": func() error { _, err := env.Ablations(); return err },
+		"pipeline": func() error {
+			_, sum, err := env.Pipeline()
+			if err != nil || *jsonOut == "" {
+				return err
+			}
+			data, err := json.MarshalIndent(sum, "", "  ")
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+		},
 	}
-	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations"}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline"}
 
 	var toRun []string
 	if *exp == "all" {

@@ -27,6 +27,17 @@
 // to per-pair dispatch; both paths produce bit-identical graphs. See
 // EXPERIMENTS.md for measured speedups.
 //
+// # Pipelined clustering
+//
+// BuildC2 streams clusters into the solver pool as the t clustering
+// configurations discover them, instead of materializing all t×b
+// clusters before the first worker starts: each configuration hashes
+// independently and pushes finalized clusters into a concurrent
+// size-prioritized queue drained by the workers, so clustering and
+// solving overlap (the assumption of the paper's §II-F cost model).
+// C2Stats reports the per-phase wall-clock times and the recovered
+// overlap; BuildOptions.DisablePipeline restores the serial barrier.
+//
 // The package root re-exports the stable surface of the internal
 // packages; see the examples directory for complete programs and
 // cmd/c2bench for the experiment harness.

@@ -13,6 +13,15 @@
 //  3. Merging — partial graphs are folded user-by-user into bounded
 //     k-heaps, reusing the similarities already computed (Algorithm 3).
 //
+// The three steps are pipelined: the t clustering configurations run
+// concurrently and stream finalized clusters into a size-prioritized
+// queue (schedule.Queue) consumed by the solver pool, so the first
+// clusters are being solved and merged while later configurations are
+// still hashing — the overlap the paper's cost model (§II-F) assumes.
+// Options.DisablePipeline restores the historical barrier behaviour
+// (cluster everything serially, then solve), kept as the baseline of
+// the pipeline equivalence tests and overlap benchmarks.
+//
 // The package also exposes the ablations evaluated by the paper and by
 // this repository's benchmarks: MinHash clustering in place of
 // FastRandomHash (Table IV), splitting disabled, FIFO scheduling, and
@@ -21,7 +30,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"sync"
 	"time"
 
 	"c2knn/internal/bruteforce"
@@ -65,7 +74,10 @@ func (s LocalSolver) String() string {
 type Scheduling int
 
 const (
-	// ScheduleLargestFirst is the paper's decreasing-size priority queue.
+	// ScheduleLargestFirst is the paper's decreasing-size priority
+	// queue. Under the pipeline it applies to the clusters available at
+	// pop time; with the pipeline disabled every cluster is available
+	// and the order is the paper's global one.
 	ScheduleLargestFirst Scheduling = iota
 	// ScheduleFIFO processes clusters in production order (ablation).
 	ScheduleFIFO
@@ -81,7 +93,8 @@ func (s Scheduling) String() string {
 
 // Options parameterizes a C² run. The zero value (after defaulting) is
 // the paper's configuration: k=30, b=4096, t=8, N=2000, ρ=5, hybrid local
-// solver, largest-first scheduling, recursive splitting on.
+// solver, largest-first scheduling, recursive splitting on, pipelined
+// clustering.
 type Options struct {
 	// K is the neighborhood size (default 30).
 	K int
@@ -104,6 +117,13 @@ type Options struct {
 	Seed int64
 	// DisableSplitting turns recursive splitting off (ablation).
 	DisableSplitting bool
+	// DisablePipeline restores the pre-pipeline barrier: every cluster
+	// is materialized, serially, before the first worker starts
+	// solving. For a fixed Seed the cluster set and each cluster's
+	// local solution are identical with and without the pipeline; only
+	// the merge interleaving (and therefore tie-breaking among
+	// equal-similarity neighbors) can differ.
+	DisablePipeline bool
 	// Scheduling selects the cluster processing order.
 	Scheduling Scheduling
 	// LocalSolver selects the per-cluster algorithm.
@@ -138,23 +158,63 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// Stats reports how a C² run unfolded, including the per-step timings the
-// paper's performance analysis rests on.
+// Stats reports how a C² run unfolded, including the per-phase timings
+// and clustering/solving overlap the paper's performance analysis
+// (§II-F) rests on.
 type Stats struct {
-	// Clusters is the number of clusters processed.
+	// Clusters is the number of clusters produced by step 1.
 	Clusters int
 	// Splits counts recursive split operations.
 	Splits int
-	// MaxCluster is the largest processed cluster.
+	// MaxCluster is the largest produced cluster.
 	MaxCluster int
-	// BruteForced and Hyreced count clusters per local solver.
+	// BruteForced and Hyreced count solved clusters per local solver;
+	// Skipped counts clusters of fewer than two users, which have no
+	// pairs to evaluate. BruteForced + Hyreced + Skipped == Clusters.
 	BruteForced int
 	Hyreced     int
-	// ClusterTime, KNNTime are the durations of steps 1 and 2+3 (local
-	// KNN and merging overlap by design: each worker merges the cluster
-	// it just solved).
+	Skipped     int
+	// ClusterTime is the wall-clock duration of step 1 (first hash to
+	// last emitted cluster). KNNTime is the wall-clock duration of
+	// steps 2+3, measured from the first cluster a worker actually
+	// popped — not from pool start, so time the pool spent blocked
+	// waiting for the first cluster is excluded — to the last merge
+	// (local KNN and merging overlap by design: each worker merges the
+	// cluster it just solved).
 	ClusterTime time.Duration
 	KNNTime     time.Duration
+	// TotalTime is the end-to-end wall-clock time of Build.
+	TotalTime time.Duration
+	// OverlapTime is how long clustering and solving were in progress
+	// simultaneously: from the first solved cluster to the last emitted
+	// one, clamped at zero — the serial latency the pipeline recovered.
+	// Zero when DisablePipeline is set (solving starts after the last
+	// emission by construction).
+	OverlapTime time.Duration
+	// MaxQueueDepth is the high-water mark of clusters waiting in the
+	// pipeline queue — how far production ran ahead of the solver pool.
+	// With DisablePipeline set it equals Clusters.
+	MaxQueueDepth int
+	// Pipelined records whether the streaming pipeline was used.
+	Pipelined bool
+}
+
+// clusterJob is one unit of step-2 work: a finalized cluster plus the
+// seed of its local solve. The seed derives from the cluster's
+// configuration and per-configuration emission rank — both stable for a
+// fixed Options.Seed regardless of worker count or pipeline
+// interleaving — so the cluster set and every per-cluster solution are
+// identical between the pipelined and barrier paths.
+type clusterJob struct {
+	users []int32
+	seed  int64
+}
+
+// jobSeed derives the local-solver seed of the seq-th cluster emitted
+// by configuration fn. Configurations are spaced 2³² apart, far beyond
+// any per-configuration cluster count.
+func jobSeed(seed int64, fn int, seq int64) int64 {
+	return seed + int64(fn+1)<<32 + seq
 }
 
 // Build computes the approximate KNN graph of d under options o, using p
@@ -163,88 +223,145 @@ type Stats struct {
 func Build(d *dataset.Dataset, p similarity.Provider, o Options) (*knng.Graph, Stats) {
 	o.setDefaults()
 	var stats Stats
-
+	stats.Pipelined = !o.DisablePipeline
 	start := time.Now()
-	var clusters []frh.Cluster
-	if o.UseMinHash {
-		clusters = minhashClusters(d, o)
-	} else {
-		fo := frh.Options{B: o.B, T: o.T, MaxSize: o.MaxClusterSize, Seed: o.Seed}
-		if o.DisableSplitting {
-			fo.MaxSize = -1
-		}
-		var fstats frh.Stats
-		clusters, fstats = frh.Build(d, fo)
-		stats.Splits = fstats.Splits
-	}
-	stats.Clusters = len(clusters)
-	for i := range clusters {
-		if len(clusters[i].Users) > stats.MaxCluster {
-			stats.MaxCluster = len(clusters[i].Users)
-		}
-	}
-	stats.ClusterTime = time.Since(start)
 
-	start = time.Now()
+	q := schedule.NewQueue[clusterJob](o.Scheduling == ScheduleFIFO)
+	// seqs[fn] is only ever touched by configuration fn's producer
+	// goroutine, so per-element access is race-free.
+	seqs := make([]int64, o.T)
+	emit := func(c frh.Cluster) {
+		seed := jobSeed(o.Seed, c.Fn, seqs[c.Fn])
+		seqs[c.Fn]++
+		q.Push(clusterJob{users: c.Users, seed: seed}, len(c.Users))
+	}
+
+	var clusterStats frh.Stats
+	var clusterEnd time.Time
+	produce := func() {
+		if o.UseMinHash {
+			clusterStats = minhashProduce(d, o, emit)
+		} else {
+			fo := frh.Options{B: o.B, T: o.T, MaxSize: o.MaxClusterSize, Seed: o.Seed}
+			if o.DisableSplitting {
+				fo.MaxSize = -1
+			}
+			if o.DisablePipeline {
+				fo.Parallelism = 1 // the historical serial step 1
+			}
+			clusterStats = frh.Stream(d, fo, emit)
+		}
+		clusterEnd = time.Now()
+		q.Close()
+	}
+
 	g := knng.New(d.NumUsers(), o.K)
 	shared := knng.NewShared(g)
-	sizes := frh.Sizes(clusters)
-	var order []int
-	if o.Scheduling == ScheduleFIFO {
-		order = schedule.FIFO(len(clusters))
-	} else {
-		order = schedule.LargestFirst(sizes)
-	}
-	// Per-solver counters are written by workers; aggregate through a
-	// channel-free trick: each job is claimed by exactly one worker, so a
-	// plain slice indexed by job is race-free.
-	solver := make([]bool, len(clusters)) // true = Hyrec
-	// Each worker owns a scratch bundle: the gathered cluster-local
+	// Each worker owns a scratch bundle — the gathered cluster-local
 	// similarity kernel plus the local solvers' reusable buffers, so
-	// steady-state cluster processing allocates nothing.
-	scratches := make([]clusterScratch, o.Workers)
-	schedule.Run(o.Workers, order, func(worker, job int) {
-		ids := clusters[job].Users
-		if len(ids) < 2 {
-			return
-		}
-		ws := &scratches[worker]
-		similarity.GatherInto(p, ids, &ws.loc)
-		var lists []knng.List
-		if useHyrec(o, len(ids)) {
-			solver[job] = true
-			lists = hyrec.LocalInto(&ws.loc, o.K, hyrec.Options{
-				Delta:   o.Delta,
-				MaxIter: o.Rho,
-				Seed:    o.Seed + int64(job),
-			}, &ws.hy)
-		} else {
-			lists = bruteforce.LocalInto(&ws.loc, o.K, &ws.bf)
-		}
-		for i := range lists {
-			shared.MergeUser(ids[i], lists[i].H)
-		}
-	})
-	for job := range clusters {
-		if len(clusters[job].Users) < 2 {
-			continue
-		}
-		if solver[job] {
-			stats.Hyreced++
-		} else {
-			stats.BruteForced++
+	// steady-state cluster processing allocates nothing — and private
+	// counters aggregated after the pool drains.
+	workers := make([]workerState, o.Workers)
+	// solveStart marks the first cluster a worker actually popped; the
+	// Once write is read by the main goroutine only after the pool's
+	// WaitGroup, so no further synchronization is needed.
+	var solveOnce sync.Once
+	var solveStart time.Time
+	consume := func(worker int) {
+		ws := &workers[worker]
+		for {
+			job, ok := q.Pop()
+			if !ok {
+				return
+			}
+			solveOnce.Do(func() { solveStart = time.Now() })
+			if len(job.users) < 2 {
+				ws.skipped++
+				continue
+			}
+			similarity.GatherInto(p, job.users, &ws.loc)
+			var lists []knng.List
+			if useHyrec(o, len(job.users)) {
+				ws.hyreced++
+				lists = hyrec.LocalInto(&ws.loc, o.K, hyrec.Options{
+					Delta:   o.Delta,
+					MaxIter: o.Rho,
+					Seed:    job.seed,
+				}, &ws.hy)
+			} else {
+				ws.bruteForced++
+				lists = bruteforce.LocalInto(&ws.loc, o.K, &ws.bf)
+			}
+			for i := range lists {
+				shared.MergeUser(job.users[i], lists[i].H)
+			}
 		}
 	}
-	stats.KNNTime = time.Since(start)
+
+	if o.DisablePipeline {
+		// Barrier: step 1 completes (and the queue holds every cluster,
+		// so largest-first is global) before the pool starts.
+		produce()
+		runPool(o.Workers, consume)
+	} else {
+		var producerWG sync.WaitGroup
+		producerWG.Add(1)
+		go func() {
+			defer producerWG.Done()
+			produce()
+		}()
+		runPool(o.Workers, consume)
+		producerWG.Wait()
+	}
+	end := time.Now()
+
+	stats.Clusters = clusterStats.Clusters
+	stats.Splits = clusterStats.Splits
+	stats.MaxCluster = clusterStats.MaxCluster
+	for i := range workers {
+		stats.BruteForced += workers[i].bruteForced
+		stats.Hyreced += workers[i].hyreced
+		stats.Skipped += workers[i].skipped
+	}
+	stats.ClusterTime = clusterEnd.Sub(start)
+	stats.TotalTime = end.Sub(start)
+	if !solveStart.IsZero() {
+		stats.KNNTime = end.Sub(solveStart)
+		// Solving started before the last cluster was emitted ⇒ the two
+		// phases genuinely ran concurrently for the difference. Under
+		// the barrier solveStart follows clusterEnd, clamping to zero.
+		if overlap := clusterEnd.Sub(solveStart); overlap > 0 {
+			stats.OverlapTime = overlap
+		}
+	}
+	stats.MaxQueueDepth = q.MaxDepth()
 	return g, stats
 }
 
-// clusterScratch is one worker's reusable state: the gathered
-// similarity kernel and both local solvers' scratch buffers.
-type clusterScratch struct {
+// workerState is one worker's reusable state: the gathered similarity
+// kernel, both local solvers' scratch buffers, and private counters.
+type workerState struct {
 	loc similarity.Local
 	bf  bruteforce.Scratch
 	hy  hyrec.Scratch
+
+	bruteForced int
+	hyreced     int
+	skipped     int
+}
+
+// runPool runs consume(worker) on `workers` goroutines and returns when
+// all have drained the queue.
+func runPool(workers int, consume func(worker int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			consume(worker)
+		}(w)
+	}
+	wg.Wait()
 }
 
 // useHyrec applies Algorithm 2's switch rule under the configured solver
@@ -264,37 +381,27 @@ func useHyrec(o Options, size int) bool {
 	}
 }
 
-// minhashClusters buckets users by t MinHash functions, one bucket set
-// per function, without splitting — the clustering of the C²/MinHash
-// ablation (§V-C).
-func minhashClusters(d *dataset.Dataset, o Options) []frh.Cluster {
+// minhashProduce emits the clusters of the C²/MinHash ablation (§V-C):
+// users bucketed by t MinHash functions, one bucket set per function,
+// without splitting. Each configuration emits its buckets in increasing
+// hash order (minhash.Buckets) through the same fan-out frh's producers
+// use: concurrent configurations in pipeline mode, the historical
+// serial loop under DisablePipeline.
+func minhashProduce(d *dataset.Dataset, o Options, emit func(frh.Cluster)) frh.Stats {
 	fam := minhash.New(o.T, o.Seed)
-	var clusters []frh.Cluster
-	for fn := 0; fn < o.T; fn++ {
-		byHash := make(map[uint32][]int32)
-		for u := 0; u < d.NumUsers(); u++ {
-			v, ok := fam.Value(fn, d.Profiles[u])
-			if !ok {
-				continue
-			}
-			byHash[v] = append(byHash[v], int32(u))
-		}
-		// Emit buckets in sorted key order: map iteration order would
-		// make runs non-deterministic.
-		keys := make([]uint32, 0, len(byHash))
-		for idx := range byHash {
-			keys = append(keys, idx)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, idx := range keys {
-			// Singleton buckets contribute no pairs; skip them at
-			// emission instead of allocating clusters Build would
-			// immediately discard.
-			if len(byHash[idx]) < 2 {
-				continue
-			}
-			clusters = append(clusters, frh.Cluster{Fn: fn, Index: idx, Users: byHash[idx]})
-		}
+	parallelism := 0
+	if o.DisablePipeline {
+		parallelism = 1
 	}
-	return clusters
+	return frh.MergeStats(frh.ForEachFn(o.T, parallelism, func(fn int) frh.Stats {
+		var s frh.Stats
+		for _, b := range fam.Buckets(fn, d.Profiles) {
+			s.Clusters++
+			if len(b.Users) > s.MaxCluster {
+				s.MaxCluster = len(b.Users)
+			}
+			emit(frh.Cluster{Fn: fn, Index: b.Value, Users: b.Users})
+		}
+		return s
+	}))
 }

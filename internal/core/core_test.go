@@ -56,6 +56,9 @@ func TestBuildProducesReasonableGraph(t *testing.T) {
 	if stats.BruteForced+stats.Hyreced == 0 {
 		t.Error("no clusters processed")
 	}
+	if got := stats.BruteForced + stats.Hyreced + stats.Skipped; got != stats.Clusters {
+		t.Errorf("BruteForced+Hyreced+Skipped = %d, want Clusters = %d", got, stats.Clusters)
+	}
 }
 
 func TestBuildBeatsRandomBaseline(t *testing.T) {
@@ -245,11 +248,13 @@ func graphsIdentical(t *testing.T, a, b *knng.Graph) {
 // TestKernelEquivalenceBuild: for a fixed seed, Build through the
 // gathered fast-path kernels must produce a graph bit-identical — same
 // heap layouts, same float64 similarities — to Build through plain
-// Provider dispatch. Workers is 1 so merge order is deterministic and
-// the comparison is exact.
+// Provider dispatch. Workers is 1 and the pipeline is disabled so the
+// merge order is fully deterministic and the comparison is exact (the
+// pipeline's arrival interleaving would make single-worker pop order
+// scheduling-dependent).
 func TestKernelEquivalenceBuild(t *testing.T) {
 	b, _ := testData(t)
-	opts := Options{K: 10, B: 128, T: 6, MaxClusterSize: 120, Workers: 1, Seed: 21}
+	opts := Options{K: 10, B: 128, T: 6, MaxClusterSize: 120, Workers: 1, Seed: 21, DisablePipeline: true}
 	for _, tc := range []struct {
 		name string
 		p    similarity.Provider
@@ -274,7 +279,7 @@ func TestKernelEquivalenceSolvers(t *testing.T) {
 	for _, solver := range []LocalSolver{SolverBruteForce, SolverHyrec} {
 		opts := Options{
 			K: 10, B: 32, T: 4, MaxClusterSize: 2000,
-			Workers: 1, Seed: 23, LocalSolver: solver,
+			Workers: 1, Seed: 23, LocalSolver: solver, DisablePipeline: true,
 		}
 		fast, _ := Build(b.data, b.gf, opts)
 		slow, _ := Build(b.data, dispatchOnly{b.gf}, opts)

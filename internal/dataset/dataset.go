@@ -40,7 +40,10 @@ type Options struct {
 	// threshold keeps everything.
 	PositiveThreshold float64
 	// MinProfile drops users whose binarized profile has fewer items
-	// (the paper uses 20). Zero keeps all users.
+	// (the paper uses 20). Zero keeps every user with at least one
+	// positive rating; users whose profile is empty after binarization
+	// are always dropped, whatever MinProfile says — they carry no
+	// signal for clustering or similarity.
 	MinProfile int
 	// KeepItemUniverse preserves the original item-universe size even if
 	// filtering removed all occurrences of some items (the paper removes

@@ -49,6 +49,23 @@ func TestFromRatingsMinProfile(t *testing.T) {
 	}
 }
 
+// TestFromRatingsDropsEmptyProfiles pins the documented MinProfile=0
+// contract: a user whose every rating falls below the positive
+// threshold — or who has no ratings at all — is dropped even though
+// MinProfile "keeps all users"; only users with at least one positive
+// rating survive.
+func TestFromRatingsDropsEmptyProfiles(t *testing.T) {
+	d := FromRatings("fix", ratingsFixture(), Options{PositiveThreshold: 3, MinProfile: 0})
+	if got := d.NumUsers(); got != 3 {
+		t.Fatalf("NumUsers = %d, want 3 (users 2 and 3 binarize to empty and are dropped)", got)
+	}
+	for u, p := range d.Profiles {
+		if len(p) == 0 {
+			t.Errorf("user %d kept with an empty profile", u)
+		}
+	}
+}
+
 func TestFromRatingsCompactsItems(t *testing.T) {
 	d := FromRatings("fix", []Rating{
 		{User: 0, Item: 100, Value: 5},

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"time"
+
+	"c2knn/internal/core"
+	"c2knn/internal/knng"
+)
+
+// PipelineRow is one mode of the clustering/solving overlap experiment:
+// the same C² configuration built with the streaming pipeline or with
+// the historical barrier (serial clustering, then solving).
+type PipelineRow struct {
+	Dataset       string
+	Mode          string // "pipelined" or "barrier"
+	Total         time.Duration
+	Cluster       time.Duration
+	KNN           time.Duration
+	Overlap       time.Duration
+	MaxQueueDepth int
+	Clusters      int
+	Quality       float64
+}
+
+// PipelineSummary condenses a pipeline run into the flat record the CI
+// benchmark tracks (benchmarks/BENCH_pipeline.json).
+type PipelineSummary struct {
+	Dataset      string  `json:"dataset"`
+	Workers      int     `json:"workers"`
+	PipelinedMS  float64 `json:"pipelined_ms"`
+	BarrierMS    float64 `json:"barrier_ms"`
+	Speedup      float64 `json:"speedup"`
+	OverlapMS    float64 `json:"overlap_ms"`
+	QualityRatio float64 `json:"quality_ratio"`
+}
+
+// Pipeline measures what pipelining clustering into the solver pool
+// buys on the dense sensitivity dataset (ml10M): end-to-end wall clock
+// with and without the streaming producer/consumer overlap, at the
+// Env's worker count, plus the quality-parity check the determinism
+// contract requires (same seed ⇒ same cluster set ⇒ quality within
+// noise of the barrier path).
+func (e *Env) Pipeline() ([]PipelineRow, *PipelineSummary, error) {
+	e.setDefaults()
+	const name = "ml10M"
+	e.printf("Pipeline: clustering/solving overlap on %s (scale %.3g, %d workers)\n",
+		name, e.Scale, e.Workers)
+	p, err := e.Prepare(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	exact := p.Exact()
+	b, t, n := e.C2Params(name)
+	base := core.Options{K: e.K, B: b, T: t, MaxClusterSize: n, Workers: e.Workers, Seed: e.Seed}
+
+	run := func(mode string, disable bool) PipelineRow {
+		opts := base
+		opts.DisablePipeline = disable
+		g, stats := core.Build(p.Data, p.GF, opts)
+		return PipelineRow{
+			Dataset:       name,
+			Mode:          mode,
+			Total:         stats.TotalTime,
+			Cluster:       stats.ClusterTime,
+			KNN:           stats.KNNTime,
+			Overlap:       stats.OverlapTime,
+			MaxQueueDepth: stats.MaxQueueDepth,
+			Clusters:      stats.Clusters,
+			Quality:       knng.Quality(g, exact, p.Raw),
+		}
+	}
+	// Pipelined first: the second run inherits whatever warm-cache and
+	// grown-heap advantage one process offers, so handing it to the
+	// barrier biases the measured speedup (barrier/pipelined) DOWNWARD —
+	// an honest-to-conservative estimate of the pipeline's win. The
+	// bench-compare.sh gate threshold is a lenient 0.8x precisely
+	// because this ordering, plus runner noise, works against the
+	// pipelined side.
+	pipelined := run("pipelined", false)
+	barrier := run("barrier", true)
+	rows := []PipelineRow{pipelined, barrier}
+	for _, r := range rows {
+		e.printf("  %-10s total=%-12v cluster=%-12v knn=%-12v overlap=%-12v qdepth=%-6d quality=%.3f\n",
+			r.Mode, r.Total.Round(time.Millisecond), r.Cluster.Round(time.Millisecond),
+			r.KNN.Round(time.Millisecond), r.Overlap.Round(time.Millisecond),
+			r.MaxQueueDepth, r.Quality)
+	}
+	sum := &PipelineSummary{
+		Dataset:     name,
+		Workers:     e.Workers,
+		PipelinedMS: float64(pipelined.Total) / float64(time.Millisecond),
+		BarrierMS:   float64(barrier.Total) / float64(time.Millisecond),
+		OverlapMS:   float64(pipelined.Overlap) / float64(time.Millisecond),
+	}
+	if pipelined.Total > 0 {
+		sum.Speedup = float64(barrier.Total) / float64(pipelined.Total)
+	}
+	if barrier.Quality > 0 {
+		sum.QualityRatio = pipelined.Quality / barrier.Quality
+	}
+	e.printf("  speedup=%.2fx quality-ratio=%.4f\n", sum.Speedup, sum.QualityRatio)
+	return rows, sum, nil
+}

@@ -19,6 +19,7 @@ import (
 
 	"c2knn/internal/dataset"
 	"c2knn/internal/jenkins"
+	"c2knn/internal/schedule"
 )
 
 // Options parameterizes the clustering. Zero fields take the paper's
@@ -34,6 +35,12 @@ type Options struct {
 	MaxSize int
 	// Seed selects the family of generative hash functions.
 	Seed int64
+	// Parallelism bounds how many configurations are clustered
+	// concurrently: the t configurations are independent, so Build and
+	// Stream fan them out by default (0 = one goroutine per
+	// configuration). 1 reproduces the serial pre-pipeline behaviour;
+	// the resulting clusters are identical either way.
+	Parallelism int
 }
 
 // DefaultB, DefaultT and DefaultMaxSize are the paper's default
@@ -155,9 +162,12 @@ func (h *Hasher) UserHashAbove(fn int, profile []int32, eta uint32) (uint32, boo
 
 // Build runs the full clustering of d: t configurations of b clusters
 // each, recursively splitting clusters larger than MaxSize. Users with an
-// empty profile are assigned to cluster 1 of every configuration (their
-// hash is undefined; any fixed choice preserves the algorithm's
-// guarantees, which only concern users that share items).
+// empty profile are skipped: their hash is undefined, and since they
+// cannot share an item with anyone their similarity to every other user
+// is zero, so clustering them (historically into cluster 1 of every
+// configuration) only inflated that cluster's O(|C|²) local work with
+// guaranteed-zero-similarity pairs. The algorithm's guarantees only
+// concern users that share items, so skipping preserves them.
 func Build(d *dataset.Dataset, o Options) ([]Cluster, Stats) {
 	o.setDefaults()
 	h := NewHasher(d.NumItems, o)
@@ -166,35 +176,110 @@ func Build(d *dataset.Dataset, o Options) ([]Cluster, Stats) {
 
 // BuildWithHasher is Build with a caller-provided Hasher, so experiments
 // sweeping MaxSize (Fig. 7 and 8) reuse the same hash tables across runs.
+// The t configurations are clustered concurrently (see
+// Options.Parallelism); the returned slice is always in the same
+// deterministic configuration-major order.
 func BuildWithHasher(d *dataset.Dataset, h *Hasher, o Options) ([]Cluster, Stats) {
 	o.setDefaults()
+	perFn := make([][]Cluster, h.t)
+	fnStats := ForEachFn(h.t, o.Parallelism, func(fn int) Stats {
+		return buildFn(d, h, o, fn, func(c Cluster) {
+			perFn[fn] = append(perFn[fn], c)
+		})
+	})
 	var clusters []Cluster
-	stats := Stats{PerFn: make([]int, h.t)}
-	for fn := 0; fn < h.t; fn++ {
-		buckets := make([][]int32, h.b+1) // index 0 unused; hashes ∈ [1, b]
-		for u, p := range d.Profiles {
-			idx, ok := h.UserHash(fn, p)
-			if !ok {
-				idx = 1
-			}
-			buckets[idx] = append(buckets[idx], int32(u))
+	for fn := range perFn {
+		clusters = append(clusters, perFn[fn]...)
+	}
+	return clusters, MergeStats(fnStats)
+}
+
+// Stream clusters d like Build but emits each cluster as soon as it is
+// finalized instead of materializing the full list — the producer side
+// of the pipelined C² build. emit is invoked concurrently from the
+// configuration goroutines and must be safe for concurrent use. Within
+// one configuration, clusters arrive in the same deterministic order
+// BuildWithHasher would list them; the interleaving across
+// configurations is scheduling-dependent, but the emitted cluster *set*
+// is identical to BuildWithHasher's for the same seed. Stream returns
+// once every configuration has finished emitting.
+func Stream(d *dataset.Dataset, o Options, emit func(Cluster)) Stats {
+	o.setDefaults()
+	h := NewHasher(d.NumItems, o)
+	return StreamWithHasher(d, h, o, emit)
+}
+
+// StreamWithHasher is Stream with a caller-provided Hasher.
+func StreamWithHasher(d *dataset.Dataset, h *Hasher, o Options, emit func(Cluster)) Stats {
+	o.setDefaults()
+	fnStats := ForEachFn(h.t, o.Parallelism, func(fn int) Stats {
+		return buildFn(d, h, o, fn, emit)
+	})
+	return MergeStats(fnStats)
+}
+
+// ForEachFn runs build for every configuration on up to parallelism
+// goroutines (0 = one per configuration) and returns the per-
+// configuration stats. It is the fan-out shared by the FRH producers
+// here and core's MinHash producer.
+func ForEachFn(t, parallelism int, build func(fn int) Stats) []Stats {
+	fnStats := make([]Stats, t)
+	if parallelism <= 0 || parallelism > t {
+		parallelism = t
+	}
+	schedule.Run(parallelism, schedule.FIFO(t), func(_, fn int) {
+		fnStats[fn] = build(fn)
+	})
+	return fnStats
+}
+
+// buildFn clusters one configuration, invoking emit for every finalized
+// cluster in a deterministic order (buckets by increasing index, split
+// children depth-first by increasing split hash). The returned Stats
+// describe this configuration only; PerFn is left nil for the caller to
+// assemble.
+func buildFn(d *dataset.Dataset, h *Hasher, o Options, fn int, emit func(Cluster)) Stats {
+	var stats Stats
+	buckets := make([][]int32, h.b+1) // index 0 unused; hashes ∈ [1, b]
+	for u, p := range d.Profiles {
+		idx, ok := h.UserHash(fn, p)
+		if !ok {
+			continue // empty profile: see Build
 		}
-		for idx, users := range buckets {
-			if len(users) == 0 {
-				continue
+		buckets[idx] = append(buckets[idx], int32(u))
+	}
+	for idx, users := range buckets {
+		if len(users) == 0 {
+			continue
+		}
+		final := splitRecursive(d, h, &stats, o, fn, Cluster{Fn: fn, Index: uint32(idx), Users: users}, 0)
+		for _, c := range final {
+			if len(c.Users) > stats.MaxCluster {
+				stats.MaxCluster = len(c.Users)
 			}
-			final := splitRecursive(d, h, &stats, o, fn, Cluster{Fn: fn, Index: uint32(idx), Users: users}, 0)
-			clusters = append(clusters, final...)
-			stats.PerFn[fn] += len(final)
+			stats.Clusters++
+			emit(c)
 		}
 	}
-	stats.Clusters = len(clusters)
-	for i := range clusters {
-		if len(clusters[i].Users) > stats.MaxCluster {
-			stats.MaxCluster = len(clusters[i].Users)
+	return stats
+}
+
+// MergeStats folds per-configuration stats into the aggregate view
+// Build has always reported.
+func MergeStats(fnStats []Stats) Stats {
+	merged := Stats{PerFn: make([]int, len(fnStats))}
+	for fn, s := range fnStats {
+		merged.Clusters += s.Clusters
+		merged.Splits += s.Splits
+		merged.PerFn[fn] = s.Clusters
+		if s.MaxCluster > merged.MaxCluster {
+			merged.MaxCluster = s.MaxCluster
+		}
+		if s.Depth > merged.Depth {
+			merged.Depth = s.Depth
 		}
 	}
-	return clusters, stats
+	return merged
 }
 
 // splitRecursive applies the recursive splitting rule to c and returns the

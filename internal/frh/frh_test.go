@@ -2,6 +2,7 @@ package frh
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -229,22 +230,115 @@ func TestCollisionRateTracksSimilarity(t *testing.T) {
 	}
 }
 
-func TestEmptyProfileGoesToClusterOne(t *testing.T) {
-	d := dataset.New("e", [][]int32{{}, {1, 2}}, 3)
-	clusters, _ := Build(d, Options{B: 4, T: 2, MaxSize: -1, Seed: 1})
-	found := false
+// TestEmptyProfileSkipped: empty-profile users have zero similarity to
+// everyone, so they are skipped at bucketing instead of being dumped
+// into cluster 1 of every configuration (which inflated that cluster's
+// O(|C|²) local work with guaranteed-zero-similarity pairs).
+func TestEmptyProfileSkipped(t *testing.T) {
+	d := dataset.New("e", [][]int32{{}, {1, 2}, {1, 2}}, 3)
+	clusters, stats := Build(d, Options{B: 4, T: 2, MaxSize: -1, Seed: 1})
+	perFn := make(map[int]int)
 	for _, c := range clusters {
+		perFn[c.Fn]++
 		for _, u := range c.Users {
 			if u == 0 {
-				found = true
-				if c.Index != 1 {
-					t.Errorf("empty-profile user in cluster %d, want 1", c.Index)
-				}
+				t.Errorf("empty-profile user clustered into fn %d index %d", c.Fn, c.Index)
+			}
+		}
+		if len(c.Users) != 2 {
+			t.Errorf("fn %d index %d has %d users, want the 2 identical ones", c.Fn, c.Index, len(c.Users))
+		}
+	}
+	for fn := 0; fn < 2; fn++ {
+		if perFn[fn] != 1 {
+			t.Errorf("fn %d has %d clusters, want 1", fn, perFn[fn])
+		}
+	}
+	if stats.Clusters != len(clusters) {
+		t.Errorf("stats.Clusters = %d, want %d", stats.Clusters, len(clusters))
+	}
+}
+
+// clusterKey canonically identifies a cluster for set comparisons:
+// within one configuration the user sets are disjoint, so (Fn, Index,
+// first user) is unique.
+type clusterKey struct {
+	fn    int
+	index uint32
+	first int32
+	size  int
+}
+
+func keyOf(c Cluster) clusterKey {
+	return clusterKey{fn: c.Fn, index: c.Index, first: c.Users[0], size: len(c.Users)}
+}
+
+// TestStreamMatchesBuild: the streamed cluster set must be identical to
+// the materialized one — same clusters, same memberships — regardless
+// of the concurrent emission interleaving.
+func TestStreamMatchesBuild(t *testing.T) {
+	d := randomDataset(400, 300, 10, 8)
+	o := Options{B: 16, T: 4, MaxSize: 30, Seed: 9}
+	built, bstats := Build(d, o)
+
+	var mu sync.Mutex
+	streamed := make(map[clusterKey][]int32)
+	sstats := Stream(d, o, func(c Cluster) {
+		users := append([]int32(nil), c.Users...)
+		mu.Lock()
+		if _, dup := streamed[keyOf(c)]; dup {
+			t.Error("duplicate cluster emitted")
+		}
+		streamed[keyOf(c)] = users
+		mu.Unlock()
+	})
+
+	if len(streamed) != len(built) {
+		t.Fatalf("stream emitted %d clusters, build returned %d", len(streamed), len(built))
+	}
+	for _, c := range built {
+		got, ok := streamed[keyOf(c)]
+		if !ok {
+			t.Fatalf("cluster fn=%d idx=%d missing from stream", c.Fn, c.Index)
+		}
+		for i := range got {
+			if got[i] != c.Users[i] {
+				t.Fatalf("cluster fn=%d idx=%d memberships differ", c.Fn, c.Index)
 			}
 		}
 	}
-	if !found {
-		t.Error("empty-profile user not clustered at all")
+	if sstats.Clusters != bstats.Clusters || sstats.Splits != bstats.Splits ||
+		sstats.MaxCluster != bstats.MaxCluster || sstats.Depth != bstats.Depth {
+		t.Errorf("stream stats %+v differ from build stats %+v", sstats, bstats)
+	}
+	for fn := range bstats.PerFn {
+		if sstats.PerFn[fn] != bstats.PerFn[fn] {
+			t.Errorf("PerFn[%d]: stream %d vs build %d", fn, sstats.PerFn[fn], bstats.PerFn[fn])
+		}
+	}
+}
+
+// TestParallelismInvariance: serial and fully-parallel configuration
+// builds must return byte-identical cluster lists.
+func TestParallelismInvariance(t *testing.T) {
+	d := randomDataset(500, 400, 12, 4)
+	for _, par := range []int{1, 2, 0} {
+		o := Options{B: 16, T: 3, MaxSize: 40, Seed: 5, Parallelism: par}
+		got, _ := Build(d, o)
+		want, _ := Build(d, Options{B: 16, T: 3, MaxSize: 40, Seed: 5, Parallelism: 1})
+		if len(got) != len(want) {
+			t.Fatalf("parallelism %d: %d clusters vs %d serial", par, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Fn != want[i].Fn || got[i].Index != want[i].Index || len(got[i].Users) != len(want[i].Users) {
+				t.Fatalf("parallelism %d: cluster %d differs from serial build", par, i)
+			}
+			for j := range got[i].Users {
+				if got[i].Users[j] != want[i].Users[j] {
+					t.Fatalf("parallelism %d: cluster %d memberships differ", par, i)
+				}
+			}
+		}
 	}
 }
 

@@ -252,17 +252,11 @@ func LocalInto(loc *similarity.Local, k int, o Options, s *Scratch) []knng.List 
 	} else {
 		s.rng.Seed(o.Seed)
 	}
-	// Random k-degree start, mirroring knng.RandomInit over local
-	// indices (same RNG sequence for a given seed).
-	for u := 0; u < m; u++ {
-		for lists[u].Len() < k && lists[u].Len() < m-1 {
-			v := s.rng.Intn(m)
-			if v == u || lists[u].Contains(int32(v)) {
-				continue
-			}
-			lists[u].Insert(int32(v), loc.Sim(u, v))
-		}
-	}
+	// Random k-degree start over local indices; knng.FillRandom is the
+	// same loop RandomInit runs, so a given seed yields the same draw
+	// sequence, and its reject bound keeps a kernel yielding degenerate
+	// sims from hanging the worker.
+	knng.FillRandom(lists, s.rng, loc.Sim)
 	refineLocal(loc, lists, o, s)
 	for i := range lists {
 		h := lists[i].H

@@ -233,3 +233,23 @@ func TestLocalDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestLocalIntoDegenerateKernelTerminates: a kernel yielding NaN for
+// every pair must leave LocalInto with empty lists, not spin its random
+// init forever (knng.List.Insert rejects degenerate similarities).
+func TestLocalIntoDegenerateKernelTerminates(t *testing.T) {
+	nan := similarity.Func(func(u, v int32) float64 { return math.NaN() })
+	ids := make([]int32, 40)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	var loc similarity.Local
+	similarity.GatherInto(nan, ids, &loc)
+	var s Scratch
+	lists := LocalInto(&loc, 5, Options{MaxIter: 3, Seed: 1}, &s)
+	for i := range lists {
+		if lists[i].Len() != 0 {
+			t.Fatalf("local user %d retained %d NaN edges", i, lists[i].Len())
+		}
+	}
+}

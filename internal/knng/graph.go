@@ -50,15 +50,34 @@ func (g *Graph) Neighbors(u int32) []Neighbor {
 // configuration of the greedy algorithms (§II-B); the paper's C²
 // contribution is precisely about replacing it with a cluster-aware one.
 func RandomInit(g *Graph, p similarity.Provider, seed int64) {
-	n := int32(g.NumUsers())
 	rng := rand.New(rand.NewSource(seed))
-	for u := int32(0); u < n; u++ {
-		for g.Lists[u].Len() < g.K && g.Lists[u].Len() < int(n)-1 {
-			v := int32(rng.Intn(int(n)))
-			if v == u || g.Lists[u].Contains(v) {
+	FillRandom(g.Lists, rng, func(u, v int) float64 { return p.Sim(int32(u), int32(v)) })
+}
+
+// FillRandom connects every list to up to its K random distinct peers
+// with similarities from sim over indices [0, len(lists)) — the shared
+// random start of RandomInit and the local solvers' in-cluster
+// initialization (which runs it over local kernel indices; for a given
+// rng state both produce the same draw sequence).
+//
+// An insert that passes the self/duplicate guards can only fail because
+// sim returned a degenerate (NaN or negative) value, which List.Insert
+// rejects; those failures are bounded so a misbehaving similarity
+// source degrades to partially filled lists instead of spinning the
+// fill loop forever. Well-behaved sources never trip the bound, keeping
+// the draw sequence unchanged.
+func FillRandom(lists []List, rng *rand.Rand, sim func(u, v int) float64) {
+	n := len(lists)
+	for u := range lists {
+		rejects := 0
+		for lists[u].Len() < lists[u].K && lists[u].Len() < n-1 && rejects < n+lists[u].K {
+			v := rng.Intn(n)
+			if v == u || lists[u].Contains(int32(v)) {
 				continue
 			}
-			g.Insert(u, v, p.Sim(u, v))
+			if !lists[u].Insert(int32(v), sim(u, v)) {
+				rejects++
+			}
 		}
 	}
 }

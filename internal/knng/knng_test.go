@@ -1,6 +1,7 @@
 package knng
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -59,6 +60,49 @@ func TestListHeapInvariantUnderRandomOps(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestListRejectsDegenerateSims is the regression test for the NaN
+// insertion bug: on a full list, a NaN candidate failed the
+// `sim <= worst` rejection (every comparison with NaN is false), was
+// accepted, and silently broke the min-heap invariant that the C² merge
+// and the greedy refinement loops rely on.
+func TestListRejectsDegenerateSims(t *testing.T) {
+	l := List{K: 3}
+	// NaN and negative sims must be rejected on a non-full list too.
+	if l.Insert(1, math.NaN()) {
+		t.Error("NaN insert into non-full list succeeded")
+	}
+	if l.Insert(2, -0.5) {
+		t.Error("negative insert into non-full list succeeded")
+	}
+	if l.Len() != 0 {
+		t.Fatalf("degenerate inserts left %d entries", l.Len())
+	}
+	for i, s := range []float64{0.5, 0.2, 0.8} {
+		if !l.Insert(int32(10+i), s) {
+			t.Fatalf("valid insert %d rejected", i)
+		}
+	}
+	// The historical failure mode: full list, NaN candidate.
+	if l.Insert(99, math.NaN()) {
+		t.Error("NaN insert into full list succeeded")
+	}
+	if !l.checkHeap() {
+		t.Error("heap invariant broken after NaN insert")
+	}
+	if l.Contains(99) {
+		t.Error("NaN candidate retained")
+	}
+	if l.Insert(98, math.Inf(-1)) {
+		t.Error("-Inf insert succeeded")
+	}
+	if !l.Insert(97, 0.9) || !l.checkHeap() {
+		t.Error("list no longer usable after degenerate candidates")
+	}
+	if l.Worst() != 0.5 {
+		t.Errorf("Worst = %v, want 0.5", l.Worst())
 	}
 }
 
@@ -286,5 +330,22 @@ func TestSharedMergeUser(t *testing.T) {
 	}
 	if g.Lists[0].Contains(0) {
 		t.Error("MergeUser accepted a self edge")
+	}
+}
+
+// nanProvider returns NaN for every pair — the misbehaving-provider
+// regression case: RandomInit must terminate with empty lists rather
+// than spin now that Insert rejects degenerate similarities.
+type nanProvider struct{}
+
+func (nanProvider) Sim(u, v int32) float64 { return math.NaN() }
+
+func TestRandomInitDegenerateProviderTerminates(t *testing.T) {
+	g := New(20, 5)
+	RandomInit(g, nanProvider{}, 1)
+	for u := range g.Lists {
+		if g.Lists[u].Len() != 0 {
+			t.Fatalf("user %d retained %d NaN edges", u, g.Lists[u].Len())
+		}
 	}
 }

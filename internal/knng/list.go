@@ -58,7 +58,16 @@ func (l *List) Contains(v int32) bool {
 // threshold rejection runs before the O(k) duplicate scan: on a full
 // list — the steady state of every solver's hot loop — most candidates
 // are dismissed with a single comparison.
+//
+// Degenerate similarities are rejected outright: every metric in this
+// repository maps into [0, 1], a NaN would slip past the `sim <= worst`
+// rejection below (all comparisons with NaN are false) and then poison
+// the heap ordering the merge and refinement loops rely on, and a
+// negative sim would defeat Worst()'s -1 "not yet full" sentinel.
 func (l *List) Insert(v int32, sim float64) bool {
+	if sim != sim || sim < 0 {
+		return false
+	}
 	if len(l.H) >= l.K {
 		if sim <= l.H[0].Sim || l.Contains(v) {
 			return false

@@ -7,7 +7,11 @@
 // the paper contrasts FRH against (§II-E).
 package minhash
 
-import "c2knn/internal/jenkins"
+import (
+	"sort"
+
+	"c2knn/internal/jenkins"
+)
 
 // Family is a set of t independent min-wise hash functions.
 type Family struct {
@@ -46,6 +50,44 @@ func (m *Family) Signature(profile []int32) []uint32 {
 		sig[fn], _ = m.Value(fn, profile)
 	}
 	return sig
+}
+
+// Bucket groups the users whose min-hash under one function equals
+// Value — one cluster of the C²/MinHash ablation.
+type Bucket struct {
+	Value uint32
+	Users []int32
+}
+
+// Buckets returns function fn's non-singleton buckets over profiles in
+// increasing Value order — the cluster emission consumed by the
+// C²/MinHash variant's producer. The deterministic order makes the
+// emitted cluster sequence reproducible per configuration, which the
+// pipelined build's seeding relies on. Singleton buckets contribute no
+// candidate pairs and are skipped, as are empty profiles (their
+// min-hash is undefined).
+func (m *Family) Buckets(fn int, profiles [][]int32) []Bucket {
+	byHash := make(map[uint32][]int32)
+	for u, p := range profiles {
+		v, ok := m.Value(fn, p)
+		if !ok {
+			continue
+		}
+		byHash[v] = append(byHash[v], int32(u))
+	}
+	values := make([]uint32, 0, len(byHash))
+	for v, users := range byHash {
+		if len(users) < 2 {
+			continue
+		}
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	out := make([]Bucket, len(values))
+	for i, v := range values {
+		out[i] = Bucket{Value: v, Users: byHash[v]}
+	}
+	return out
 }
 
 // EstimateJaccard estimates J(a, b) as the fraction of matching signature

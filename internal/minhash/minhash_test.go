@@ -101,3 +101,44 @@ func TestIdenticalProfilesAlwaysCollide(t *testing.T) {
 		}
 	}
 }
+
+func TestBuckets(t *testing.T) {
+	f := New(3, 13)
+	profiles := [][]int32{
+		{1, 2, 3},       // user 0
+		{1, 2, 3},       // user 1: identical to 0, must share its bucket
+		{},              // user 2: empty, skipped
+		{900},           // user 3: almost surely alone -> singleton, skipped
+		{1, 2, 3, 4, 5}, // user 4
+	}
+	for fn := 0; fn < 3; fn++ {
+		buckets := f.Buckets(fn, profiles)
+		var prev uint32
+		users := map[int32]int{}
+		for i, b := range buckets {
+			if i > 0 && b.Value <= prev {
+				t.Fatalf("fn %d: buckets not in increasing value order", fn)
+			}
+			prev = b.Value
+			if len(b.Users) < 2 {
+				t.Fatalf("fn %d: singleton bucket emitted", fn)
+			}
+			for _, u := range b.Users {
+				users[u]++
+			}
+		}
+		if users[2] != 0 {
+			t.Errorf("fn %d: empty-profile user bucketed", fn)
+		}
+		// Users 0 and 1 are identical, so whenever either appears they
+		// appear together.
+		if users[0] != users[1] {
+			t.Errorf("fn %d: identical users 0 and 1 split across buckets", fn)
+		}
+		for u, n := range users {
+			if n > 1 {
+				t.Errorf("fn %d: user %d in %d buckets", fn, u, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Run the pipelined-vs-barrier build benchmark on a small preset and
+# record benchmarks/BENCH_pipeline.json — the clustering/solving overlap
+# tracker consumed by scripts/bench-compare.sh and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${PIPELINE_SCALE:-0.02}"
+WORKERS="${PIPELINE_WORKERS:-4}"
+
+mkdir -p benchmarks
+go run ./cmd/c2bench -exp pipeline -scale "$SCALE" -workers "$WORKERS" \
+  -json benchmarks/BENCH_pipeline.json
+echo "wrote benchmarks/BENCH_pipeline.json"
