@@ -10,7 +10,7 @@
 //	c2bench -exp all -scale 0.05 -workers 4
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// theory, ablations, pipeline, all.
+// theory, ablations, pipeline, serve, all.
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -26,8 +27,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, all")
-		jsonOut  = flag.String("json", "", "write the pipeline experiment's summary as JSON to this file (CI records it as benchmarks/BENCH_pipeline.json)")
+		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, all")
+		jsonOut  = flag.String("json", "", "write the pipeline/serve experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json and BENCH_serve.json); when both experiments run, the experiment name is inserted before the extension")
 		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1 = paper size)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 42, "master random seed")
@@ -52,6 +53,9 @@ func main() {
 		names = strings.Split(*datasets, ",")
 	}
 
+	// Assigned after toRun is known; runners only call it at run time.
+	var jsonPath func(string) string
+
 	runners := map[string]func() error{
 		"table1":    func() error { _, err := env.Table1(); return err },
 		"table2":    func() error { _, err := env.Table2(names); return err },
@@ -65,17 +69,20 @@ func main() {
 		"ablations": func() error { _, err := env.Ablations(); return err },
 		"pipeline": func() error {
 			_, sum, err := env.Pipeline()
-			if err != nil || *jsonOut == "" {
-				return err
-			}
-			data, err := json.MarshalIndent(sum, "", "  ")
 			if err != nil {
 				return err
 			}
-			return os.WriteFile(*jsonOut, append(data, '\n'), 0o644)
+			return writeSummary(jsonPath("pipeline"), sum)
+		},
+		"serve": func() error {
+			sum, err := env.Serve()
+			if err != nil {
+				return err
+			}
+			return writeSummary(jsonPath("serve"), sum)
 		},
 	}
-	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline"}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve"}
 
 	var toRun []string
 	if *exp == "all" {
@@ -90,6 +97,24 @@ func main() {
 			toRun = append(toRun, name)
 		}
 	}
+
+	// When several JSON-producing experiments run in one invocation, a
+	// single -json path would be silently overwritten by the last one;
+	// disambiguate by inserting the experiment name before the extension
+	// (out.json → out.pipeline.json, out.serve.json).
+	jsonProducers := 0
+	for _, name := range toRun {
+		if name == "pipeline" || name == "serve" {
+			jsonProducers++
+		}
+	}
+	jsonPath = func(name string) string {
+		if *jsonOut == "" || jsonProducers <= 1 {
+			return *jsonOut
+		}
+		ext := filepath.Ext(*jsonOut)
+		return strings.TrimSuffix(*jsonOut, ext) + "." + name + ext
+	}
 	for _, name := range toRun {
 		start := time.Now()
 		if err := runners[name](); err != nil {
@@ -98,4 +123,17 @@ func main() {
 		}
 		fmt.Printf("-- %s done in %v\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// writeSummary records an experiment's flat summary as JSON when -json
+// is given (no-op otherwise).
+func writeSummary(path string, sum any) error {
+	if path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

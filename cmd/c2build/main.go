@@ -1,11 +1,13 @@
 // Command c2build constructs a KNN graph from a dataset file with a
 // chosen algorithm and writes the edges as "user neighbor similarity"
-// triples.
+// triples, or as a binary snapshot servable without rebuilding.
 //
 // Usage:
 //
 //	c2build -in data.txt -algo c2 -k 30 -out graph.txt
 //	c2build -in data.txt -algo hyrec -raw     # exact Jaccard, no GoldFinger
+//	c2build -in data.txt -snap index.c2       # build once, serve many:
+//	                                          # c2recommend -graph index.c2
 //
 // Algorithms: c2, hyrec, nndescent, lsh, bruteforce.
 package main
@@ -26,6 +28,7 @@ import (
 	"c2knn/internal/knng"
 	"c2knn/internal/lsh"
 	"c2knn/internal/nndescent"
+	"c2knn/internal/persist"
 	"c2knn/internal/similarity"
 )
 
@@ -33,6 +36,7 @@ func main() {
 	var (
 		in      = flag.String("in", "", "input dataset file (plain-text profile format)")
 		out     = flag.String("out", "", "output edge file (empty: stdout summary only)")
+		snap    = flag.String("snap", "", "write a binary snapshot (frozen graph + dataset + fingerprints) to this path")
 		algo    = flag.String("algo", "c2", "algorithm: c2, hyrec, nndescent, lsh, bruteforce")
 		k       = flag.Int("k", 30, "neighborhood size")
 		gfbits  = flag.Int("gfbits", 1024, "GoldFinger width (ignored with -raw)")
@@ -52,10 +56,11 @@ func main() {
 	fmt.Println(d.ComputeStats())
 
 	var prov similarity.Provider
+	var gf *goldfinger.Set
 	if *raw {
 		prov = similarity.NewJaccard(d)
 	} else {
-		gf, err := goldfinger.New(d, *gfbits, 0x60fd)
+		gf, err = goldfinger.New(d, *gfbits, 0x60fd)
 		if err != nil {
 			fatal(err)
 		}
@@ -82,6 +87,21 @@ func main() {
 	}
 	fmt.Printf("%s: %v, %d similarity computations, avg stored sim %.4f\n",
 		*algo, time.Since(start).Round(time.Millisecond), counting.Count(), g.AvgStoredSim())
+
+	if *snap != "" {
+		start = time.Now()
+		frozen := g.Freeze()
+		err := persist.WriteFile(*snap, &persist.Snapshot{
+			Graph:      frozen,
+			Train:      d,
+			GoldFinger: gf, // nil with -raw: the snapshot simply omits the section
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote snapshot %s (%d users, %d edges) in %v\n",
+			*snap, frozen.NumUsers(), frozen.NumEdges(), time.Since(start).Round(time.Millisecond))
+	}
 
 	if *out == "" {
 		return

@@ -38,6 +38,47 @@
 // C2Stats reports the per-phase wall-clock times and the recovered
 // overlap; BuildOptions.DisablePipeline restores the serial barrier.
 //
+// # Frozen graphs and the serving layer
+//
+// Building and serving use different representations. The mutable
+// Graph — bounded per-user min-heaps — is what the solvers insert
+// into; Freeze flattens it into a FrozenGraph, a CSR triple (flat
+// neighbor ids, flat float32 similarities, per-user offsets) with each
+// adjacency pre-sorted by decreasing similarity. FrozenGraph.Neighbors
+// returns slice views with zero allocations, is immutable and
+// therefore lock-free under any number of concurrent readers, and is
+// orders of magnitude faster than Graph.Neighbors (which allocates and
+// sorts per call).
+//
+// Index bundles a frozen graph with its training dataset (and
+// optionally the GoldFinger fingerprints) into a concurrency-safe
+// serving object: Neighbors, TopK and Recommend may be called from any
+// number of goroutines, with recommendation scratch pooled per caller
+// so steady-state queries touch no maps and allocate only the result.
+//
+//	g, _ := c2knn.BuildC2(d, sim, c2knn.BuildOptions{})
+//	ix, _ := c2knn.NewIndex(g, d, sim)
+//	ix.Save("index.c2")              // build once ...
+//	ix, _ = c2knn.LoadIndex("index.c2") // ... load in milliseconds, many times
+//	items := ix.Recommend(42, 30)
+//
+// # Snapshot format
+//
+// Save/LoadIndex (and c2build -snap / c2recommend -graph) use a
+// versioned, checksummed binary container. Layout, all little-endian:
+// an 8-byte magic "C2SNAP\r\n", a uint32 format version, and a uint32
+// section count, followed by sections of {uint32 type, uint64 payload
+// length, payload, uint32 CRC-32C of the payload}. Section types:
+// 1 = frozen graph (k, user count, edge count, per-user degrees, flat
+// neighbor ids, flat float32 similarity bits), 2 = dataset (name, item
+// universe, per-user profile lengths, flat item ids), 3 = GoldFinger
+// signatures (width in bits, user count, flat uint64 words). Decoding
+// validates framing, checksums, structural invariants and
+// cross-section user counts, and on any failure returns an error and
+// no snapshot — truncated files, flipped bytes, and version skew never
+// panic and never yield a partially populated index. See
+// internal/persist for the full specification.
+//
 // The package root re-exports the stable surface of the internal
 // packages; see the examples directory for complete programs and
 // cmd/c2bench for the experiment harness.

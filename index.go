@@ -1,0 +1,152 @@
+package c2knn
+
+import (
+	"fmt"
+	"sync"
+
+	"c2knn/internal/dataset"
+	"c2knn/internal/goldfinger"
+	"c2knn/internal/knng"
+	"c2knn/internal/persist"
+	"c2knn/internal/recommend"
+)
+
+// FrozenGraph is the immutable CSR serving form of a Graph; see Freeze.
+type FrozenGraph = knng.Frozen
+
+// Freeze flattens g into its immutable serving representation: flat
+// neighbor-id and similarity arrays with per-user offsets, each
+// adjacency pre-sorted by decreasing similarity. A FrozenGraph answers
+// Neighbors queries without allocating and is safe for unlimited
+// concurrent readers.
+func Freeze(g *Graph) *FrozenGraph { return g.Freeze() }
+
+// Index is the serving bundle of the §V-B application: a frozen KNN
+// graph, the training dataset its recommendations score against, and
+// (optionally) the GoldFinger fingerprints the graph was built with.
+// All methods are safe for concurrent use — the graph and dataset are
+// immutable and per-query scratch is pooled — so one Index can serve
+// any number of request goroutines. Build one with NewIndex, persist
+// it with Save, and load it in milliseconds with LoadIndex: the
+// build/serve split that lets one expensive graph construction serve
+// many processes.
+type Index struct {
+	graph   *knng.Frozen
+	train   *dataset.Dataset
+	gf      *goldfinger.Set
+	scorers sync.Pool
+}
+
+// NewIndex freezes g and bundles it with its training dataset. sim may
+// carry the GoldFinger provider the graph was built with (it is kept
+// and persisted if it is a *goldfinger.Set); pass nil otherwise.
+func NewIndex(g *Graph, train *Dataset, sim Similarity) (*Index, error) {
+	if g == nil || train == nil {
+		return nil, fmt.Errorf("c2knn: index needs both a graph and a training dataset")
+	}
+	if g.NumUsers() != train.NumUsers() {
+		return nil, fmt.Errorf("c2knn: graph has %d users, dataset %d", g.NumUsers(), train.NumUsers())
+	}
+	gf, _ := sim.(*goldfinger.Set)
+	return newFrozenIndex(g.Freeze(), train, gf)
+}
+
+func newFrozenIndex(f *knng.Frozen, train *dataset.Dataset, gf *goldfinger.Set) (*Index, error) {
+	ix := &Index{graph: f, train: train, gf: gf}
+	ix.scorers.New = func() any { return recommend.NewScorer(train.NumItems) }
+	return ix, nil
+}
+
+// LoadIndex reads an Index from a snapshot file written by Save (or by
+// c2build -snap). The snapshot must carry at least a graph and a
+// dataset; decoding validates structure, checksums and cross-section
+// consistency, so a corrupt file returns an error and never a
+// partially usable index.
+func LoadIndex(path string) (*Index, error) {
+	snap, err := persist.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Graph == nil || snap.Train == nil {
+		return nil, fmt.Errorf("c2knn: snapshot %s lacks a graph or dataset section; not servable", path)
+	}
+	return newFrozenIndex(snap.Graph, snap.Train, snap.GoldFinger)
+}
+
+// Save writes the index to path in the snapshot format (atomically:
+// encode to a temp file, then rename).
+func (ix *Index) Save(path string) error {
+	return persist.WriteFile(path, &persist.Snapshot{
+		Graph:      ix.graph,
+		Train:      ix.train,
+		GoldFinger: ix.gf,
+	})
+}
+
+// NumUsers returns the number of users the index serves.
+func (ix *Index) NumUsers() int { return ix.graph.NumUsers() }
+
+// K returns the neighborhood bound the graph was built with.
+func (ix *Index) K() int { return ix.graph.K }
+
+// Graph returns the frozen graph. Read-only.
+func (ix *Index) Graph() *FrozenGraph { return ix.graph }
+
+// Train returns the training dataset. Read-only.
+func (ix *Index) Train() *Dataset { return ix.train }
+
+// Similarity returns the fingerprint provider bundled with the index,
+// or nil when the snapshot carried none.
+func (ix *Index) Similarity() Similarity {
+	if ix.gf == nil {
+		return nil
+	}
+	return ix.gf
+}
+
+// valid reports whether u is a user this index serves. The Index
+// methods are the request-facing surface, so an out-of-range id — a
+// malformed or stale request — yields an empty result rather than an
+// index-out-of-range panic taking down the serving process. (The
+// underlying FrozenGraph stays unguarded: internal callers iterate
+// known-valid ids on hot paths.)
+func (ix *Index) valid(u int32) bool {
+	return u >= 0 && int(u) < ix.graph.NumUsers()
+}
+
+// Neighbors returns views of u's neighbor ids and similarities, sorted
+// by decreasing similarity, or empty views when u is out of range.
+// Zero allocations; the slices alias index storage and must not be
+// mutated.
+func (ix *Index) Neighbors(u int32) (ids []int32, sims []float32) {
+	if !ix.valid(u) {
+		return nil, nil
+	}
+	return ix.graph.Neighbors(u)
+}
+
+// TopK returns u's best min(k, degree) neighbors as Neighbor values,
+// or nil when u is out of range.
+func (ix *Index) TopK(u int32, k int) []Neighbor {
+	if !ix.valid(u) {
+		return nil
+	}
+	return ix.graph.TopK(u, k, nil)
+}
+
+// Recommend returns up to n items for user u by user-based
+// collaborative filtering over the frozen graph: items in neighbors'
+// training profiles (but not u's own), scored by the sum of the
+// recommending neighbors' similarities, ties broken by ascending item
+// id. Out-of-range users get nil. Safe for concurrent use; scoring
+// scratch is pooled per calling goroutine, so steady-state cost is the
+// returned slice only.
+func (ix *Index) Recommend(u int32, n int) []int32 {
+	if !ix.valid(u) {
+		return nil
+	}
+	sc := ix.scorers.Get().(*recommend.Scorer)
+	out := sc.Recommend(ix.train, ix.graph, u, n, nil)
+	ix.scorers.Put(sc)
+	return out
+}

@@ -1,0 +1,187 @@
+package c2knn_test
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"c2knn"
+)
+
+// buildTestIndex constructs a small C²-built index over the ml1M preset.
+func buildTestIndex(tb testing.TB) *c2knn.Index {
+	tb.Helper()
+	d, err := c2knn.Generate("ml1M", 0.05)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim, err := c2knn.NewGoldFinger(d, 256)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, _ := c2knn.BuildC2(d, sim, c2knn.BuildOptions{K: 10, Workers: 2, Seed: 42})
+	ix, err := c2knn.NewIndex(g, d, sim)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ix
+}
+
+func TestIndexSaveLoadRoundTrip(t *testing.T) {
+	ix := buildTestIndex(t)
+	path := filepath.Join(t.TempDir(), "index.c2")
+	if err := ix.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := c2knn.LoadIndex(path)
+	if err != nil {
+		t.Fatalf("LoadIndex: %v", err)
+	}
+	if loaded.NumUsers() != ix.NumUsers() || loaded.K() != ix.K() {
+		t.Fatalf("loaded index shape (%d users, k=%d), want (%d, %d)",
+			loaded.NumUsers(), loaded.K(), ix.NumUsers(), ix.K())
+	}
+	if loaded.Similarity() == nil {
+		t.Fatal("loaded index dropped the GoldFinger provider")
+	}
+	for u := 0; u < ix.NumUsers(); u++ {
+		ids, sims := ix.Neighbors(int32(u))
+		lids, lsims := loaded.Neighbors(int32(u))
+		if len(ids) != len(lids) {
+			t.Fatalf("user %d: loaded degree %d, built %d", u, len(lids), len(ids))
+		}
+		for i := range ids {
+			if ids[i] != lids[i] || sims[i] != lsims[i] {
+				t.Fatalf("user %d edge %d differs after round trip", u, i)
+			}
+		}
+	}
+	for u := int32(0); u < int32(ix.NumUsers()); u += 17 {
+		want := ix.Recommend(u, 10)
+		got := loaded.Recommend(u, 10)
+		if len(got) != len(want) {
+			t.Fatalf("user %d: loaded recommends %d items, built %d", u, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("user %d: recommendations differ after round trip", u)
+			}
+		}
+	}
+}
+
+// TestIndexRecommendConcurrentMatchesSerial serves recommendations from
+// 8 goroutines at once (run under -race in CI) and checks every result
+// against the serial path: the pooled-scratch serving layer must be
+// both data-race-free and deterministic.
+func TestIndexRecommendConcurrentMatchesSerial(t *testing.T) {
+	ix := buildTestIndex(t)
+	n := ix.NumUsers()
+	serial := make([][]int32, n)
+	for u := 0; u < n; u++ {
+		serial[u] = ix.Recommend(int32(u), 20)
+	}
+	const workers = 8
+	concurrent := make([][]int32, n)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for u := w; u < n; u += workers {
+				concurrent[u] = ix.Recommend(int32(u), 20)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for u := 0; u < n; u++ {
+		if len(serial[u]) != len(concurrent[u]) {
+			t.Fatalf("user %d: concurrent returned %d items, serial %d", u, len(concurrent[u]), len(serial[u]))
+		}
+		for i := range serial[u] {
+			if serial[u][i] != concurrent[u][i] {
+				t.Fatalf("user %d item %d: concurrent %d, serial %d",
+					u, i, concurrent[u][i], serial[u][i])
+			}
+		}
+	}
+}
+
+func TestIndexNeighborsZeroAlloc(t *testing.T) {
+	ix := buildTestIndex(t)
+	var sink float32
+	allocs := testing.AllocsPerRun(1000, func() {
+		ids, sims := ix.Neighbors(3)
+		if len(ids) > 0 {
+			sink += sims[0]
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Index.Neighbors allocates %.1f per call, want 0", allocs)
+	}
+	_ = sink
+}
+
+func TestIndexTopK(t *testing.T) {
+	ix := buildTestIndex(t)
+	for u := int32(0); u < 20; u++ {
+		top := ix.TopK(u, 3)
+		ids, sims := ix.Neighbors(u)
+		want := 3
+		if len(ids) < want {
+			want = len(ids)
+		}
+		if len(top) != want {
+			t.Fatalf("user %d: TopK(3) returned %d, want %d", u, len(top), want)
+		}
+		for i, nb := range top {
+			if nb.ID != ids[i] || nb.Sim != float64(sims[i]) {
+				t.Fatalf("user %d: TopK[%d] = %+v, want (%d, %v)", u, i, nb, ids[i], sims[i])
+			}
+		}
+	}
+}
+
+// TestIndexOutOfRangeUsers: the request-facing methods must return
+// empty results for malformed user ids, not panic.
+func TestIndexOutOfRangeUsers(t *testing.T) {
+	ix := buildTestIndex(t)
+	for _, u := range []int32{-1, int32(ix.NumUsers()), int32(ix.NumUsers()) + 100} {
+		if ids, sims := ix.Neighbors(u); ids != nil || sims != nil {
+			t.Errorf("Neighbors(%d) = (%v, %v), want empty", u, ids, sims)
+		}
+		if top := ix.TopK(u, 5); top != nil {
+			t.Errorf("TopK(%d) = %v, want nil", u, top)
+		}
+		if rec := ix.Recommend(u, 5); rec != nil {
+			t.Errorf("Recommend(%d) = %v, want nil", u, rec)
+		}
+	}
+}
+
+func TestNewIndexValidates(t *testing.T) {
+	d, err := c2knn.Generate("ml1M", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2knn.NewIndex(nil, d, nil); err == nil {
+		t.Error("NewIndex accepted a nil graph")
+	}
+	g := c2knn.BuildBruteForce(d, c2knn.ExactJaccard(d), 5)
+	small, err := c2knn.Generate("ml1M", 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumUsers() != d.NumUsers() {
+		if _, err := c2knn.NewIndex(g, small, nil); err == nil {
+			t.Error("NewIndex accepted mismatched user counts")
+		}
+	}
+}
+
+func TestLoadIndexRejectsGraphlessSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nope.c2")
+	if _, err := c2knn.LoadIndex(path); err == nil {
+		t.Error("LoadIndex of a missing file succeeded")
+	}
+}

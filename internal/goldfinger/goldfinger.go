@@ -118,3 +118,37 @@ var _ similarity.Localizer = (*Set)(nil)
 // Ones returns the popcount of user u's fingerprint; useful to gauge
 // saturation (estimates degrade as fingerprints fill up).
 func (s *Set) Ones(u int32) int { return int(s.ones[u]) }
+
+// Signatures returns the flattened fingerprint block: NumUsers × Bits/64
+// words, user-major. The slice aliases internal storage and must not be
+// mutated; the persistence layer serializes it verbatim.
+func (s *Set) Signatures() []uint64 { return s.sigs }
+
+// FromSignatures reconstructs a Set from a previously built signature
+// block (e.g. one loaded from a snapshot), recomputing the per-user
+// popcounts. sigs must hold exactly n × bits/64 words; it is aliased,
+// not copied. The item-hash seed is not needed: fingerprints are
+// self-contained for similarity estimation, the seed only matters when
+// summarizing new profiles.
+func FromSignatures(bitsN, n int, sigs []uint64) (*Set, error) {
+	if bitsN <= 0 || bitsN%64 != 0 {
+		return nil, fmt.Errorf("goldfinger: bits must be a positive multiple of 64, got %d", bitsN)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("goldfinger: negative user count %d", n)
+	}
+	words := bitsN / 64
+	if len(sigs) != n*words {
+		return nil, fmt.Errorf("goldfinger: signature block has %d words, want %d users × %d words",
+			len(sigs), n, words)
+	}
+	s := &Set{bits: bitsN, words: words, n: n, sigs: sigs, ones: make([]int32, n)}
+	for u := 0; u < n; u++ {
+		cnt := 0
+		for _, w := range sigs[u*words : (u+1)*words] {
+			cnt += bits.OnesCount64(w)
+		}
+		s.ones[u] = int32(cnt)
+	}
+	return s, nil
+}

@@ -1,0 +1,206 @@
+package knng
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+)
+
+// Frozen is the immutable serving representation of a KNN graph: the
+// per-user neighbor lists of a Graph flattened into CSR form, with each
+// user's adjacency pre-sorted by decreasing similarity (ties broken by
+// ascending neighbor id). Where Graph is built for cheap bounded
+// inserts — a binary min-heap per user, mutated millions of times
+// during construction — Frozen is built for reads: Neighbors is a
+// zero-allocation slice view, the whole structure is three flat arrays
+// that persist verbatim to disk, and because nothing ever mutates it,
+// any number of goroutines may query it concurrently without locks.
+//
+// The exported fields describe the CSR layout and exist for the
+// persistence codec and tests; treat them as read-only. Use NewFrozen
+// to construct a Frozen from untrusted (e.g. decoded) slices — it
+// checks every structural invariant Freeze guarantees.
+type Frozen struct {
+	// K is the neighborhood bound the graph was built with; individual
+	// users may hold fewer neighbors.
+	K int
+	// Offsets has NumUsers+1 entries: user u's adjacency occupies
+	// IDs[Offsets[u]:Offsets[u+1]] and Sims likewise.
+	Offsets []int64
+	// IDs holds all neighbor ids, concatenated per user.
+	IDs []int32
+	// Sims holds the similarity of each corresponding edge in IDs,
+	// narrowed to float32 (every metric maps into [0, 1], where float32
+	// keeps ~7 significant digits — far below estimator noise).
+	Sims []float32
+}
+
+// sortNeighbors orders s by decreasing similarity, ties by ascending id,
+// the canonical adjacency order shared by Graph.Neighbors and Freeze
+// (deterministic ties make the two representations comparable
+// edge-for-edge).
+func sortNeighbors(s []Neighbor) {
+	slices.SortFunc(s, func(a, b Neighbor) int {
+		if a.Sim != b.Sim {
+			if a.Sim > b.Sim {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+}
+
+// sortNeighborsNarrowed orders s like sortNeighbors but compares the
+// similarities after narrowing to float32 — the values a Frozen
+// actually stores. Freeze must sort this way: two float64 sims that
+// are distinct but collapse to the same float32 are a tie in the CSR,
+// and sorting them by the pre-narrowing values could order them
+// id-descending, violating the canonical (sim desc, id asc) invariant
+// Validate enforces.
+func sortNeighborsNarrowed(s []Neighbor) {
+	slices.SortFunc(s, func(a, b Neighbor) int {
+		as, bs := float32(a.Sim), float32(b.Sim)
+		if as != bs {
+			if as > bs {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+}
+
+// Freeze flattens the graph into its immutable CSR serving form. The
+// graph itself is not modified and may keep evolving afterwards; the
+// returned Frozen shares no storage with it.
+func (g *Graph) Freeze() *Frozen {
+	n := g.NumUsers()
+	total := 0
+	for u := range g.Lists {
+		total += g.Lists[u].Len()
+	}
+	f := &Frozen{
+		K:       g.K,
+		Offsets: make([]int64, n+1),
+		IDs:     make([]int32, 0, total),
+		Sims:    make([]float32, 0, total),
+	}
+	scratch := make([]Neighbor, 0, g.K)
+	for u := range g.Lists {
+		scratch = append(scratch[:0], g.Lists[u].H...)
+		sortNeighborsNarrowed(scratch)
+		for _, nb := range scratch {
+			f.IDs = append(f.IDs, nb.ID)
+			f.Sims = append(f.Sims, float32(nb.Sim))
+		}
+		f.Offsets[u+1] = int64(len(f.IDs))
+	}
+	return f
+}
+
+// NewFrozen assembles a Frozen from raw CSR slices, validating every
+// invariant Freeze guarantees. It is the single entry point for
+// untrusted data (the snapshot decoder): a Frozen that exists is a
+// Frozen the serving paths can index into without bounds anxiety.
+func NewFrozen(k int, offsets []int64, ids []int32, sims []float32) (*Frozen, error) {
+	f := &Frozen{K: k, Offsets: offsets, IDs: ids, Sims: sims}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Validate checks the CSR invariants: well-formed monotone offsets,
+// matching array lengths, per-user degrees within K, neighbor ids in
+// range and non-self, similarities finite and non-negative, and each
+// adjacency sorted by decreasing similarity with ties by ascending id.
+func (f *Frozen) Validate() error {
+	if f.K < 0 {
+		return fmt.Errorf("knng: frozen graph has negative k %d", f.K)
+	}
+	if len(f.Offsets) == 0 || f.Offsets[0] != 0 {
+		return fmt.Errorf("knng: frozen graph offsets must start with 0")
+	}
+	n := len(f.Offsets) - 1
+	if int64(len(f.IDs)) != f.Offsets[n] || len(f.Sims) != len(f.IDs) {
+		return fmt.Errorf("knng: frozen graph arrays disagree: offsets end %d, %d ids, %d sims",
+			f.Offsets[n], len(f.IDs), len(f.Sims))
+	}
+	for u := 0; u < n; u++ {
+		lo, hi := f.Offsets[u], f.Offsets[u+1]
+		if hi < lo {
+			return fmt.Errorf("knng: frozen graph offsets decrease at user %d", u)
+		}
+		if hi-lo > int64(f.K) {
+			return fmt.Errorf("knng: user %d has %d neighbors, exceeding k=%d", u, hi-lo, f.K)
+		}
+		for i := lo; i < hi; i++ {
+			id, sim := f.IDs[i], f.Sims[i]
+			if id < 0 || int(id) >= n {
+				return fmt.Errorf("knng: user %d has neighbor id %d outside [0,%d)", u, id, n)
+			}
+			if int(id) == u {
+				return fmt.Errorf("knng: user %d has a self edge", u)
+			}
+			if sim != sim || sim < 0 {
+				return fmt.Errorf("knng: user %d edge %d has degenerate similarity %v", u, id, sim)
+			}
+			if i > lo {
+				prev, prevSim := f.IDs[i-1], f.Sims[i-1]
+				if sim > prevSim || (sim == prevSim && id <= prev) {
+					return fmt.Errorf("knng: user %d adjacency not sorted (sim desc, id asc) at edge %d", u, i-lo)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// NumUsers returns the number of users the graph is defined over.
+func (f *Frozen) NumUsers() int { return len(f.Offsets) - 1 }
+
+// NumEdges returns the total number of directed edges stored.
+func (f *Frozen) NumEdges() int { return len(f.IDs) }
+
+// Degree returns the number of neighbors stored for u.
+func (f *Frozen) Degree(u int32) int {
+	return int(f.Offsets[u+1] - f.Offsets[u])
+}
+
+// Neighbors returns views of u's neighbor ids and similarities, sorted
+// by decreasing similarity. The slices alias the graph's storage — do
+// not mutate them — and the call performs no allocation, so it is safe
+// and cheap on every query of a serving hot path.
+func (f *Frozen) Neighbors(u int32) (ids []int32, sims []float32) {
+	lo, hi := f.Offsets[u], f.Offsets[u+1]
+	return f.IDs[lo:hi], f.Sims[lo:hi]
+}
+
+// TopK appends u's best min(k, Degree(u)) neighbors to dst as Neighbor
+// values and returns the extended slice; pass a recycled dst for
+// allocation-free use.
+func (f *Frozen) TopK(u int32, k int, dst []Neighbor) []Neighbor {
+	ids, sims := f.Neighbors(u)
+	if k > len(ids) {
+		k = len(ids)
+	}
+	for i := 0; i < k; i++ {
+		dst = append(dst, Neighbor{ID: ids[i], Sim: float64(sims[i])})
+	}
+	return dst
+}
+
+// AvgStoredSim averages the similarities recorded on the edges over k×n
+// slots, mirroring Graph.AvgStoredSim (absent edges count as zero).
+func (f *Frozen) AvgStoredSim() float64 {
+	n := f.NumUsers()
+	if n == 0 || f.K == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range f.Sims {
+		total += float64(s)
+	}
+	return total / float64(f.K*n)
+}

@@ -2,7 +2,6 @@ package knng
 
 import (
 	"math/rand"
-	"sort"
 	"sync"
 
 	"c2knn/internal/similarity"
@@ -35,13 +34,16 @@ func (g *Graph) Insert(u, v int32, sim float64) bool {
 	return g.Lists[u].Insert(v, sim)
 }
 
-// Neighbors returns u's current neighbors sorted by decreasing similarity.
-// The result is freshly allocated.
+// Neighbors returns u's current neighbors sorted by decreasing
+// similarity, ties by ascending id (the same canonical order Freeze
+// uses). The result is freshly allocated — this is the build-time
+// inspection path; serving hot paths should Freeze the graph and read
+// through Frozen.Neighbors, which is a zero-allocation view.
 func (g *Graph) Neighbors(u int32) []Neighbor {
 	l := g.Lists[u]
 	out := make([]Neighbor, len(l.H))
 	copy(out, l.H)
-	sort.Slice(out, func(i, j int) bool { return out[i].Sim > out[j].Sim })
+	sortNeighbors(out)
 	return out
 }
 

@@ -1,0 +1,44 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives arbitrary bytes through the snapshot decoder. The
+// invariants: never panic, never return a snapshot alongside an error,
+// and anything that decodes successfully must survive a re-encode /
+// re-decode cycle (i.e. only self-consistent snapshots are accepted).
+func FuzzDecode(f *testing.F) {
+	f.Add(encodeBytes(f, tinySnapshot(f)))
+	full := tinySnapshot(f)
+	f.Add(encodeBytes(f, &Snapshot{Graph: full.Graph}))
+	f.Add(encodeBytes(f, &Snapshot{Train: full.Train}))
+	f.Add(encodeBytes(f, &Snapshot{GoldFinger: full.GoldFinger}))
+	f.Add([]byte("C2SNAP\r\n"))
+	f.Add([]byte{})
+	corrupt := encodeBytes(f, full)
+	corrupt[len(corrupt)/2] ^= 0x10
+	f.Add(corrupt)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if snap != nil {
+				t.Fatal("Decode returned a snapshot together with an error")
+			}
+			return
+		}
+		if snap == nil || (snap.Graph == nil && snap.Train == nil && snap.GoldFinger == nil) {
+			t.Fatal("Decode succeeded with an empty snapshot")
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, snap); err != nil {
+			t.Fatalf("re-encode of an accepted snapshot failed: %v", err)
+		}
+		again, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil || again == nil {
+			t.Fatalf("re-decode of a re-encoded snapshot failed: %v", err)
+		}
+	})
+}

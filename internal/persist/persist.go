@@ -1,0 +1,513 @@
+// Package persist implements the c2knn snapshot format: a versioned,
+// checksummed binary container that round-trips the immutable serving
+// artifacts — a frozen KNN graph, its training dataset, and optional
+// GoldFinger fingerprints — so an index built once (minutes of
+// similarity computations) can be loaded by any number of serving
+// processes in milliseconds.
+//
+// # Format
+//
+// All integers are little-endian. A snapshot is a fixed header followed
+// by a sequence of self-checksummed sections:
+//
+//	offset  size  field
+//	0       8     magic "C2SNAP\r\n" (the CRLF catches text-mode mangling)
+//	8       4     format version (uint32, currently 1)
+//	12      4     section count (uint32)
+//
+// then, for each section:
+//
+//	4     section type (uint32)
+//	8     payload length in bytes (uint64)
+//	...   payload
+//	4     CRC-32C (Castagnoli) of the payload
+//
+// Section types: 1 = frozen graph, 2 = dataset, 3 = GoldFinger
+// signatures. Each type appears at most once; unknown types are an
+// error (format evolution bumps the version). The stream must end
+// exactly after the last section.
+//
+// Section payloads:
+//
+//	graph:      u32 k · u64 numUsers · u64 numEdges ·
+//	            numUsers×u32 degrees · numEdges×i32 neighbor ids ·
+//	            numEdges×f32 similarities (IEEE-754 bits)
+//	dataset:    u16 nameLen · name bytes · u32 numItems · u64 numUsers ·
+//	            u64 numRatings · numUsers×u32 profile lengths ·
+//	            numRatings×i32 item ids
+//	goldfinger: u32 bits · u64 numUsers · numUsers×(bits/64)×u64 words
+//
+// # Robustness
+//
+// Decode never panics on hostile input and never returns a partially
+// populated snapshot: every length is validated against the payload
+// size before allocation, every payload is checksummed, decoded
+// structures pass their packages' own validators (knng.Frozen.Validate,
+// dataset.Validate), cross-section user counts must agree, and any
+// failure returns (nil, error). Truncated files, flipped bytes, and
+// version skew are all detected.
+package persist
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+
+	"c2knn/internal/dataset"
+	"c2knn/internal/goldfinger"
+	"c2knn/internal/knng"
+)
+
+// Version is the snapshot format version this build reads and writes.
+const Version = 1
+
+var magic = [8]byte{'C', '2', 'S', 'N', 'A', 'P', '\r', '\n'}
+
+const (
+	secGraph      = 1
+	secDataset    = 2
+	secGoldFinger = 3
+
+	// maxSections bounds the header's section count; the format defines
+	// three section types and each may appear once.
+	maxSections = 16
+	// maxSectionBytes is a sanity bound on a single section (1 TiB); a
+	// corrupted length field beyond it fails fast. Lengths below it that
+	// exceed the actual stream still fail cheaply: payloads are read in
+	// chunks, so memory grows only with bytes actually present.
+	maxSectionBytes = 1 << 40
+)
+
+// ErrCorrupt tags decoding failures caused by malformed or damaged
+// snapshot bytes (bad magic, checksum mismatch, truncation, invalid
+// structure). Test with errors.Is.
+var ErrCorrupt = errors.New("persist: corrupt snapshot")
+
+// ErrVersion tags snapshots written by an incompatible format version.
+var ErrVersion = errors.New("persist: unsupported snapshot version")
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot is the set of artifacts a snapshot file carries. Any subset
+// of fields may be populated; serving (c2knn.LoadIndex) requires Graph
+// and Train.
+type Snapshot struct {
+	// Graph is the frozen CSR serving graph.
+	Graph *knng.Frozen
+	// Train is the dataset the graph was built over; recommendation
+	// scores against its profiles.
+	Train *dataset.Dataset
+	// GoldFinger optionally carries the fingerprints the graph was
+	// built with, so a loaded index can keep estimating similarities.
+	GoldFinger *goldfinger.Set
+}
+
+// Encode writes s to w in the snapshot format.
+func Encode(w io.Writer, s *Snapshot) error {
+	if s == nil || (s.Graph == nil && s.Train == nil && s.GoldFinger == nil) {
+		return errors.New("persist: refusing to encode an empty snapshot")
+	}
+	if s.Graph != nil {
+		if err := s.Graph.Validate(); err != nil {
+			return fmt.Errorf("persist: refusing to encode invalid graph: %w", err)
+		}
+	}
+	if s.Train != nil {
+		if err := s.Train.Validate(); err != nil {
+			return fmt.Errorf("persist: refusing to encode invalid dataset: %w", err)
+		}
+		if len(s.Train.Name) > math.MaxUint16 {
+			return fmt.Errorf("persist: dataset name longer than %d bytes", math.MaxUint16)
+		}
+	}
+	if s.Graph != nil && s.Train != nil && s.Graph.NumUsers() != s.Train.NumUsers() {
+		return fmt.Errorf("persist: graph has %d users, dataset %d", s.Graph.NumUsers(), s.Train.NumUsers())
+	}
+	if s.Graph != nil && s.GoldFinger != nil && s.Graph.NumUsers() != s.GoldFinger.NumUsers() {
+		return fmt.Errorf("persist: graph has %d users, fingerprints %d", s.Graph.NumUsers(), s.GoldFinger.NumUsers())
+	}
+	var count uint32
+	for _, present := range []bool{s.Graph != nil, s.Train != nil, s.GoldFinger != nil} {
+		if present {
+			count++
+		}
+	}
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, magic[:]...)
+	hdr = binary.LittleEndian.AppendUint32(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint32(hdr, count)
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if s.Graph != nil {
+		if err := writeSection(w, secGraph, encodeGraph(s.Graph)); err != nil {
+			return err
+		}
+	}
+	if s.Train != nil {
+		if err := writeSection(w, secDataset, encodeDataset(s.Train)); err != nil {
+			return err
+		}
+	}
+	if s.GoldFinger != nil {
+		if err := writeSection(w, secGoldFinger, encodeGoldFinger(s.GoldFinger)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSection(w io.Writer, typ uint32, payload []byte) error {
+	hdr := make([]byte, 0, 12)
+	hdr = binary.LittleEndian.AppendUint32(hdr, typ)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+func encodeGraph(f *knng.Frozen) []byte {
+	n, m := f.NumUsers(), f.NumEdges()
+	b := make([]byte, 0, 20+4*n+8*m)
+	b = binary.LittleEndian.AppendUint32(b, uint32(f.K))
+	b = binary.LittleEndian.AppendUint64(b, uint64(n))
+	b = binary.LittleEndian.AppendUint64(b, uint64(m))
+	for u := 0; u < n; u++ {
+		b = binary.LittleEndian.AppendUint32(b, uint32(f.Degree(int32(u))))
+	}
+	for _, id := range f.IDs {
+		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+	}
+	for _, s := range f.Sims {
+		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(s))
+	}
+	return b
+}
+
+func encodeDataset(d *dataset.Dataset) []byte {
+	ratings := d.NumRatings()
+	b := make([]byte, 0, 2+len(d.Name)+20+4*d.NumUsers()+4*ratings)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(d.Name)))
+	b = append(b, d.Name...)
+	b = binary.LittleEndian.AppendUint32(b, uint32(d.NumItems))
+	b = binary.LittleEndian.AppendUint64(b, uint64(d.NumUsers()))
+	b = binary.LittleEndian.AppendUint64(b, uint64(ratings))
+	for _, p := range d.Profiles {
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	}
+	for _, p := range d.Profiles {
+		for _, it := range p {
+			b = binary.LittleEndian.AppendUint32(b, uint32(it))
+		}
+	}
+	return b
+}
+
+func encodeGoldFinger(s *goldfinger.Set) []byte {
+	sigs := s.Signatures()
+	b := make([]byte, 0, 12+8*len(sigs))
+	b = binary.LittleEndian.AppendUint32(b, uint32(s.Bits()))
+	b = binary.LittleEndian.AppendUint64(b, uint64(s.NumUsers()))
+	for _, w := range sigs {
+		b = binary.LittleEndian.AppendUint64(b, w)
+	}
+	return b
+}
+
+// Decode reads a snapshot from r. On any error the returned snapshot is
+// nil — a decoded Snapshot is always complete and validated.
+func Decode(r io.Reader) (*Snapshot, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
+		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	count := binary.LittleEndian.Uint32(hdr[12:16])
+	if count == 0 || count > maxSections {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, count)
+	}
+	snap := &Snapshot{}
+	seen := make(map[uint32]bool, count)
+	for i := uint32(0); i < count; i++ {
+		var sh [12]byte
+		if _, err := io.ReadFull(r, sh[:]); err != nil {
+			return nil, fmt.Errorf("%w: section %d header: %v", ErrCorrupt, i, err)
+		}
+		typ := binary.LittleEndian.Uint32(sh[0:4])
+		length := binary.LittleEndian.Uint64(sh[4:12])
+		payload, err := readPayload(r, length)
+		if err != nil {
+			return nil, fmt.Errorf("%w: section %d (type %d): %v", ErrCorrupt, i, typ, err)
+		}
+		var crc [4]byte
+		if _, err := io.ReadFull(r, crc[:]); err != nil {
+			return nil, fmt.Errorf("%w: section %d checksum: %v", ErrCorrupt, i, err)
+		}
+		if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(crc[:]); got != want {
+			return nil, fmt.Errorf("%w: section %d (type %d) checksum mismatch", ErrCorrupt, i, typ)
+		}
+		if seen[typ] {
+			return nil, fmt.Errorf("%w: duplicate section type %d", ErrCorrupt, typ)
+		}
+		seen[typ] = true
+		switch typ {
+		case secGraph:
+			snap.Graph, err = decodeGraph(payload)
+		case secDataset:
+			snap.Train, err = decodeDataset(payload)
+		case secGoldFinger:
+			snap.GoldFinger, err = decodeGoldFinger(payload)
+		default:
+			err = fmt.Errorf("unknown section type %d", typ)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: section %d: %v", ErrCorrupt, i, err)
+		}
+	}
+	// The stream must end exactly here; trailing bytes mean the header's
+	// section count was damaged (or the file was concatenated with junk).
+	var probe [1]byte
+	if _, err := io.ReadFull(r, probe[:]); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after final section", ErrCorrupt)
+	}
+	// Cross-section consistency: every artifact describes the same users.
+	if snap.Graph != nil && snap.Train != nil && snap.Graph.NumUsers() != snap.Train.NumUsers() {
+		return nil, fmt.Errorf("%w: graph has %d users, dataset %d",
+			ErrCorrupt, snap.Graph.NumUsers(), snap.Train.NumUsers())
+	}
+	if snap.Graph != nil && snap.GoldFinger != nil && snap.Graph.NumUsers() != snap.GoldFinger.NumUsers() {
+		return nil, fmt.Errorf("%w: graph has %d users, fingerprints %d",
+			ErrCorrupt, snap.Graph.NumUsers(), snap.GoldFinger.NumUsers())
+	}
+	return snap, nil
+}
+
+// readPayload reads exactly length bytes in bounded chunks, so a
+// corrupted length field against a truncated stream fails after
+// allocating at most ~2× the bytes actually present.
+func readPayload(r io.Reader, length uint64) ([]byte, error) {
+	if length > maxSectionBytes {
+		return nil, fmt.Errorf("section length %d exceeds the %d-byte bound", length, int64(maxSectionBytes))
+	}
+	const chunk = 1 << 20
+	capHint := length
+	if capHint > chunk {
+		capHint = chunk
+	}
+	buf := make([]byte, 0, capHint)
+	for uint64(len(buf)) < length {
+		n := length - uint64(len(buf))
+		if n > chunk {
+			n = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, fmt.Errorf("truncated payload: %v", err)
+		}
+	}
+	return buf, nil
+}
+
+// dec is a cursor over a fully checksummed payload; after the upfront
+// exact-size check the fixed-width reads cannot fail.
+type dec struct {
+	b   []byte
+	off int
+}
+
+func (d *dec) u16() uint16 {
+	v := binary.LittleEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	v := binary.LittleEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func decodeGraph(payload []byte) (*knng.Frozen, error) {
+	if len(payload) < 20 {
+		return nil, fmt.Errorf("graph payload too short (%d bytes)", len(payload))
+	}
+	d := &dec{b: payload}
+	k := d.u32()
+	n := d.u64()
+	m := d.u64()
+	if n > 1<<32 || m > 1<<38 || k > 1<<20 {
+		return nil, fmt.Errorf("implausible graph dimensions: k=%d users=%d edges=%d", k, n, m)
+	}
+	if need := 20 + 4*n + 8*m; uint64(len(payload)) != need {
+		return nil, fmt.Errorf("graph payload is %d bytes, dimensions require %d", len(payload), need)
+	}
+	offsets := make([]int64, n+1)
+	var off int64
+	for u := uint64(0); u < n; u++ {
+		deg := d.u32()
+		off += int64(deg)
+		offsets[u+1] = off
+	}
+	if off != int64(m) {
+		return nil, fmt.Errorf("degrees sum to %d, header says %d edges", off, m)
+	}
+	ids := make([]int32, m)
+	for i := range ids {
+		ids[i] = int32(d.u32())
+	}
+	sims := make([]float32, m)
+	for i := range sims {
+		sims[i] = math.Float32frombits(d.u32())
+	}
+	return knng.NewFrozen(int(k), offsets, ids, sims)
+}
+
+func decodeDataset(payload []byte) (*dataset.Dataset, error) {
+	if len(payload) < 2 {
+		return nil, fmt.Errorf("dataset payload too short (%d bytes)", len(payload))
+	}
+	d := &dec{b: payload}
+	nameLen := int(d.u16())
+	if len(payload) < 2+nameLen+20 {
+		return nil, fmt.Errorf("dataset payload too short for %d-byte name", nameLen)
+	}
+	name := string(payload[d.off : d.off+nameLen])
+	d.off += nameLen
+	numItems := d.u32()
+	n := d.u64()
+	ratings := d.u64()
+	if n > 1<<32 || ratings > 1<<38 || numItems > 1<<31 {
+		return nil, fmt.Errorf("implausible dataset dimensions: users=%d ratings=%d items=%d", n, ratings, numItems)
+	}
+	if need := uint64(2+nameLen+20) + 4*n + 4*ratings; uint64(len(payload)) != need {
+		return nil, fmt.Errorf("dataset payload is %d bytes, dimensions require %d", len(payload), need)
+	}
+	lens := make([]uint32, n)
+	var total uint64
+	for i := range lens {
+		lens[i] = d.u32()
+		total += uint64(lens[i])
+	}
+	if total != ratings {
+		return nil, fmt.Errorf("profile lengths sum to %d, header says %d ratings", total, ratings)
+	}
+	items := make([]int32, ratings)
+	for i := range items {
+		items[i] = int32(d.u32())
+	}
+	profiles := make([][]int32, n)
+	var at uint64
+	for u := range profiles {
+		profiles[u] = items[at : at+uint64(lens[u]) : at+uint64(lens[u])]
+		at += uint64(lens[u])
+	}
+	ds := &dataset.Dataset{Name: name, NumItems: int32(numItems), Profiles: profiles}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+func decodeGoldFinger(payload []byte) (*goldfinger.Set, error) {
+	if len(payload) < 12 {
+		return nil, fmt.Errorf("goldfinger payload too short (%d bytes)", len(payload))
+	}
+	d := &dec{b: payload}
+	bitsN := d.u32()
+	n := d.u64()
+	if bitsN == 0 || bitsN%64 != 0 || bitsN > 1<<24 || n > 1<<32 {
+		return nil, fmt.Errorf("implausible fingerprint dimensions: bits=%d users=%d", bitsN, n)
+	}
+	words := uint64(bitsN / 64)
+	if need := 12 + 8*n*words; uint64(len(payload)) != need {
+		return nil, fmt.Errorf("goldfinger payload is %d bytes, dimensions require %d", len(payload), need)
+	}
+	sigs := make([]uint64, n*words)
+	for i := range sigs {
+		sigs[i] = d.u64()
+	}
+	return goldfinger.FromSignatures(int(bitsN), int(n), sigs)
+}
+
+// WriteFile atomically writes s to path: the snapshot is encoded to
+// path+".tmp", fsynced, and renamed into place, with the containing
+// directory fsynced after the rename — so a crash at any point leaves
+// either the old snapshot or the complete new one where a serving
+// process expects a valid file, never a torn or empty rename victim.
+func WriteFile(path string, s *Snapshot) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := Encode(w, s); err != nil {
+		return fail(err)
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	// Data must be durable before the rename becomes visible, or a power
+	// loss can persist the rename ahead of the blocks and leave an
+	// empty/partial file at path.
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Make the rename itself durable. Some platforms/filesystems reject
+	// directory fsync; the rename has already succeeded, so that is not
+	// worth failing the write over.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return nil
+}
+
+// ReadFile loads a snapshot from path.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(bufio.NewReaderSize(f, 1<<20))
+}

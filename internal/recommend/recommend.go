@@ -6,8 +6,9 @@
 package recommend
 
 import (
+	"cmp"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 
 	"c2knn/internal/dataset"
@@ -72,9 +73,35 @@ type scored struct {
 	score float64
 }
 
+// rankScored orders ranked by decreasing score, ties by ascending item
+// id (deterministic), truncates to n, and extracts the item ids into
+// dst. Shared by the map-based reference path and the frozen scorer.
+func rankScored(ranked []scored, n int, dst []int32) []int32 {
+	slices.SortFunc(ranked, func(a, b scored) int {
+		if a.score != b.score {
+			if a.score > b.score {
+				return -1
+			}
+			return 1
+		}
+		return cmp.Compare(a.item, b.item)
+	})
+	if len(ranked) > n {
+		ranked = ranked[:n]
+	}
+	for _, r := range ranked {
+		dst = append(dst, r.item)
+	}
+	return dst
+}
+
 // Recommend returns up to n items for user u: every item appearing in a
 // neighbor's training profile but not in u's own, scored by the sum of
 // the recommending neighbors' similarities (classic user-based CF).
+// This is the build-structure reference path — it walks the mutable
+// graph and allocates a scoring map per call. Serving paths should
+// freeze the graph and recommend through a Scorer (or c2knn.Index),
+// which touches no maps and reuses all scratch.
 func Recommend(train *dataset.Dataset, g *knng.Graph, u int32, n int) []int32 {
 	scores := make(map[int32]float64)
 	own := train.Profiles[u]
@@ -93,20 +120,62 @@ func Recommend(train *dataset.Dataset, g *knng.Graph, u int32, n int) []int32 {
 	for it, s := range scores {
 		ranked = append(ranked, scored{it, s})
 	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].score != ranked[j].score {
-			return ranked[i].score > ranked[j].score
+	return rankScored(ranked, n, make([]int32, 0, min(n, len(ranked))))
+}
+
+// Scorer is the reusable per-worker scratch of the frozen serving path:
+// a dense per-item score accumulator plus the touched-item and ranking
+// buffers. After the first few queries a Scorer stops allocating
+// (beyond the caller's result slice). A Scorer is not safe for
+// concurrent use; give each goroutine its own (c2knn.Index pools them).
+type Scorer struct {
+	scores  []float64 // dense accumulator, indexed by item id
+	touched []int32   // items with non-zero score this query
+	ranked  []scored
+}
+
+// NewScorer returns a Scorer for datasets with up to numItems items;
+// it grows transparently if a query meets a larger universe.
+func NewScorer(numItems int32) *Scorer {
+	return &Scorer{scores: make([]float64, numItems)}
+}
+
+// Recommend is the frozen-graph scoring path: identical semantics to
+// the package-level Recommend (score = sum of recommending neighbors'
+// similarities, u's own items excluded, ties by ascending item id) but
+// reading the CSR adjacency and accumulating into the dense scratch —
+// no per-query map, no per-query allocation when dst is recycled. The
+// item ids are appended to dst; the extended slice is returned.
+func (s *Scorer) Recommend(train *dataset.Dataset, g *knng.Frozen, u int32, n int, dst []int32) []int32 {
+	if int(train.NumItems) > len(s.scores) {
+		s.scores = make([]float64, train.NumItems)
+	}
+	own := train.Profiles[u]
+	ids, sims := g.Neighbors(u)
+	for i, v := range ids {
+		sim := float64(sims[i])
+		if sim <= 0 {
+			continue
 		}
-		return ranked[i].item < ranked[j].item // deterministic ties
-	})
-	if len(ranked) > n {
-		ranked = ranked[:n]
+		for _, it := range train.Profiles[v] {
+			if sets.Contains(own, it) {
+				continue
+			}
+			// Accumulated similarities are strictly positive, so a zero
+			// score means "first touch" — no separate seen-set needed.
+			if s.scores[it] == 0 {
+				s.touched = append(s.touched, it)
+			}
+			s.scores[it] += sim
+		}
 	}
-	out := make([]int32, len(ranked))
-	for i, r := range ranked {
-		out[i] = r.item
+	s.ranked = s.ranked[:0]
+	for _, it := range s.touched {
+		s.ranked = append(s.ranked, scored{it, s.scores[it]})
+		s.scores[it] = 0 // reset as we drain: scratch is clean for the next query
 	}
-	return out
+	s.touched = s.touched[:0]
+	return rankScored(s.ranked, n, dst)
 }
 
 // Recall returns |rec ∩ test| / |test|, or -1 when test is empty (the
@@ -125,8 +194,17 @@ func Recall(rec, test []int32) float64 {
 }
 
 // EvalRecall recommends n items to every user of the fold and returns the
-// mean recall over users with a non-empty test set.
+// mean recall over users with a non-empty test set. The graph is frozen
+// once and evaluation runs on the CSR serving path; pass an existing
+// Frozen to EvalRecallFrozen to skip the flattening.
 func EvalRecall(f Fold, g *knng.Graph, n, workers int) float64 {
+	return EvalRecallFrozen(f, g.Freeze(), n, workers)
+}
+
+// EvalRecallFrozen is EvalRecall over a frozen graph: each worker owns a
+// Scorer and a recycled result slice, so the whole evaluation performs a
+// constant number of allocations regardless of user count.
+func EvalRecallFrozen(f Fold, g *knng.Frozen, n, workers int) float64 {
 	if workers < 1 {
 		workers = 1
 	}
@@ -138,11 +216,13 @@ func EvalRecall(f Fold, g *knng.Graph, n, workers int) float64 {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			sc := NewScorer(f.Train.NumItems)
+			rec := make([]int32, 0, n)
 			for u := w; u < users; u += workers {
 				if len(f.Test[u]) == 0 {
 					continue
 				}
-				rec := Recommend(f.Train, g, int32(u), n)
+				rec = sc.Recommend(f.Train, g, int32(u), n, rec[:0])
 				if r := Recall(rec, f.Test[u]); r >= 0 {
 					partial[w] += r
 					counts[w]++

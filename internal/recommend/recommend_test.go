@@ -1,6 +1,7 @@
 package recommend
 
 import (
+	"math/rand"
 	"testing"
 
 	"c2knn/internal/bruteforce"
@@ -142,6 +143,83 @@ func TestEndToEndRecallBeatsRandom(t *testing.T) {
 	}
 	if exactRecall <= 0 {
 		t.Error("exact-graph recall is zero — recommender broken")
+	}
+}
+
+// frozenTestGraph builds a random graph whose similarities are exact
+// float32 values (multiples of 1/256), so the float64 map path and the
+// float32 frozen path must agree bit-for-bit.
+func frozenTestGraph(n, k int, seed int64) *knng.Graph {
+	g := knng.New(n, k)
+	rng := rand.New(rand.NewSource(seed))
+	knng.FillRandom(g.Lists, rng, func(u, v int) float64 {
+		return float64(rng.Intn(256)) / 256
+	})
+	return g
+}
+
+func TestScorerMatchesMapRecommend(t *testing.T) {
+	d := synth.Generate(synth.ML1M().Scale(0.03))
+	g := frozenTestGraph(d.NumUsers(), 8, 11)
+	f := g.Freeze()
+	sc := NewScorer(d.NumItems)
+	var rec []int32
+	for _, n := range []int{1, 5, 30} {
+		for u := 0; u < d.NumUsers(); u++ {
+			want := Recommend(d, g, int32(u), n)
+			rec = sc.Recommend(d, f, int32(u), n, rec[:0])
+			if len(rec) != len(want) {
+				t.Fatalf("n=%d user %d: frozen returned %d items, map path %d", n, u, len(rec), len(want))
+			}
+			for i := range want {
+				if rec[i] != want[i] {
+					t.Fatalf("n=%d user %d item %d: frozen %d, map path %d (frozen %v, map %v)",
+						n, u, i, rec[i], want[i], rec, want)
+				}
+			}
+		}
+	}
+}
+
+func TestScorerScratchCleanBetweenQueries(t *testing.T) {
+	// Two consecutive queries for the same user through one Scorer must
+	// be identical: leftover scores would double-count.
+	d := synth.Generate(synth.ML1M().Scale(0.03))
+	g := frozenTestGraph(d.NumUsers(), 8, 12)
+	f := g.Freeze()
+	sc := NewScorer(d.NumItems)
+	for u := 0; u < 50; u++ {
+		first := append([]int32(nil), sc.Recommend(d, f, int32(u), 20, nil)...)
+		second := sc.Recommend(d, f, int32(u), 20, nil)
+		if len(first) != len(second) {
+			t.Fatalf("user %d: repeat query returned %d items, first %d", u, len(second), len(first))
+		}
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("user %d: repeat query diverged at %d: %v vs %v", u, i, first, second)
+			}
+		}
+	}
+}
+
+func TestScorerGrowsToLargerUniverse(t *testing.T) {
+	small := dataset.New("small", [][]int32{{0}, {1}}, 2)
+	sc := NewScorer(small.NumItems)
+	big := dataset.New("big", [][]int32{{0, 90}, {91, 95}}, 100)
+	g := knng.New(2, 1)
+	g.Insert(0, 1, 0.5)
+	rec := sc.Recommend(big, g.Freeze(), 0, 5, nil)
+	if len(rec) != 2 || rec[0] != 91 || rec[1] != 95 {
+		t.Errorf("recs after growth = %v, want [91 95]", rec)
+	}
+}
+
+func TestEvalRecallFrozenMatchesEvalRecall(t *testing.T) {
+	d := synth.Generate(synth.ML1M().Scale(0.03))
+	f := Split(d, 4, 6)[0]
+	g := frozenTestGraph(f.Train.NumUsers(), 8, 13)
+	if a, b := EvalRecall(f, g, 10, 2), EvalRecallFrozen(f, g.Freeze(), 10, 2); a != b {
+		t.Errorf("EvalRecall %v != EvalRecallFrozen %v", a, b)
 	}
 }
 

@@ -41,6 +41,41 @@ elif [ -f "$PIPELINE_JSON" ]; then
   echo "pipeline record $PIPELINE_JSON is stale (>60 min); skipping its gate"
 fi
 
+SERVE_JSON="benchmarks/BENCH_serve.json"
+
+# Gate the serving-layer record (scripts/bench-serve.sh) the same way:
+# the frozen CSR neighbor lookup must be allocation-free and at least 2x
+# the mutable Graph.Neighbors path (in practice it is 100-1000x, so the
+# 2x bound is robust to any runner), and frozen recommendation queries
+# must not grossly regress versus the map-scoring path (< 0.8x fails;
+# the win itself is dataset-dependent and noisy on shared runners).
+if [ -f "$SERVE_JSON" ] && [ -n "$(find "$SERVE_JSON" -mmin -60 2>/dev/null)" ]; then
+  echo "serve record ($SERVE_JSON):"
+  cat "$SERVE_JSON"
+  awk '
+    match($0, /"recommend_speedup": *[0-9.]+/)          { split(substr($0, RSTART, RLENGTH), a, ": *"); rec = a[2] + 0 }
+    match($0, /"neighbors_speedup": *[0-9.]+/)          { split(substr($0, RSTART, RLENGTH), a, ": *"); nb = a[2] + 0 }
+    match($0, /"neighbors_allocs_per_query": *[0-9.]+/) { split(substr($0, RSTART, RLENGTH), a, ": *"); nba = a[2] + 0 }
+    END {
+      if (nba > 0) {
+        printf("frozen neighbor lookups allocate (%.4f allocs/query), want 0\n", nba) > "/dev/stderr"
+        exit 1
+      }
+      if (nb < 2) {
+        printf("frozen neighbor lookup only %.2fx over Graph.Neighbors, want >= 2x\n", nb) > "/dev/stderr"
+        exit 1
+      }
+      if (rec < 0.8) {
+        printf("frozen recommend path is a >20%% regression vs the map path (%.2fx)\n", rec) > "/dev/stderr"
+        exit 1
+      }
+      printf("serve gate ok: neighbors %.0fx (0 allocs), recommend %.2fx\n", nb, rec)
+    }
+  ' "$SERVE_JSON"
+elif [ -f "$SERVE_JSON" ]; then
+  echo "serve record $SERVE_JSON is stale (>60 min); skipping its gate"
+fi
+
 if [ ! -f "$BASELINE" ] || ! grep -q '^Benchmark' "$BASELINE"; then
   echo "baseline missing or empty; skipping compare"
   exit 0

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run the serving-layer benchmark (frozen CSR path vs mutable build
+# structure) on a small preset and record benchmarks/BENCH_serve.json —
+# the query-throughput tracker consumed by scripts/bench-compare.sh and
+# CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SERVE_SCALE:-0.02}"
+WORKERS="${SERVE_WORKERS:-4}"
+
+mkdir -p benchmarks
+go run ./cmd/c2bench -exp serve -scale "$SCALE" -workers "$WORKERS" \
+  -json benchmarks/BENCH_serve.json
+echo "wrote benchmarks/BENCH_serve.json"
