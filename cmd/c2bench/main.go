@@ -10,7 +10,7 @@
 //	c2bench -exp all -scale 0.05 -workers 4
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// theory, ablations, pipeline, serve, all.
+// theory, ablations, pipeline, serve, serve-http, all.
 package main
 
 import (
@@ -27,8 +27,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, all")
-		jsonOut  = flag.String("json", "", "write the pipeline/serve experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json and BENCH_serve.json); when both experiments run, the experiment name is inserted before the extension")
+		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, serve-http, all")
+		jsonOut  = flag.String("json", "", "write the pipeline/serve/serve-http experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json, BENCH_serve.json and BENCH_http.json); when several such experiments run, the experiment name is inserted before the extension")
 		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1 = paper size)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 42, "master random seed")
@@ -81,8 +81,15 @@ func main() {
 			}
 			return writeSummary(jsonPath("serve"), sum)
 		},
+		"serve-http": func() error {
+			sum, err := env.ServeHTTP()
+			if err != nil {
+				return err
+			}
+			return writeSummary(jsonPath("serve-http"), sum)
+		},
 	}
-	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve"}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve", "serve-http"}
 
 	var toRun []string
 	if *exp == "all" {
@@ -104,7 +111,7 @@ func main() {
 	// (out.json → out.pipeline.json, out.serve.json).
 	jsonProducers := 0
 	for _, name := range toRun {
-		if name == "pipeline" || name == "serve" {
+		if name == "pipeline" || name == "serve" || name == "serve-http" {
 			jsonProducers++
 		}
 	}

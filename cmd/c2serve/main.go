@@ -1,0 +1,141 @@
+// Command c2serve is the long-running HTTP serving daemon: it loads a
+// snapshot written by c2build -snap into a c2knn.Index and serves
+// neighbor, top-k and recommendation queries until told to stop —
+// the query side of the build-once/serve-many split.
+//
+// Usage:
+//
+//	c2build -in data.txt -snap index.c2
+//	c2serve -snap index.c2 -addr :8080
+//
+// Endpoints:
+//
+//	GET  /v1/neighbors?user=U[&k=K]     one user's neighbor ids + sims
+//	GET  /v1/topk?user=U[&k=K]          one user's top-k as (id, sim) pairs
+//	GET  /v1/recommend?user=U[&n=N]     one user's top-n recommended items
+//	POST /v1/{neighbors,topk,recommend} batched: {"users":[...],"k":K|"n":N}
+//	GET  /healthz                       liveness + current snapshot epoch
+//	GET  /statsz                        qps, p50/p99, cache hit rate, counters
+//	POST /admin/reload                  hot-swap to the snapshot on disk
+//
+// Lifecycle: SIGHUP re-reads -snap and atomically swaps the new index
+// in with zero downtime (equivalent to POST /admin/reload); SIGINT and
+// SIGTERM stop accepting connections and drain in-flight requests
+// before exiting. A version-skewed snapshot is reported as "rebuild
+// needed" and a damaged one as "corrupt" — the daemon keeps serving the
+// old index in both cases.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"c2knn"
+	"c2knn/internal/server"
+)
+
+func main() {
+	var (
+		snap    = flag.String("snap", "", "snapshot file written by c2build -snap (required)")
+		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		pool    = flag.Int("pool", 0, "max concurrent queries (0 = 4x GOMAXPROCS)")
+		cache   = flag.Int("cache", 4096, "result cache entries (negative disables caching)")
+		shards  = flag.Int("shards", 16, "result cache shard count")
+		batch   = flag.Int("batch", 1024, "max users per batched request")
+		drainTO = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	log.SetPrefix("c2serve: ")
+	if *snap == "" {
+		fmt.Fprintln(os.Stderr, "c2serve: -snap is required")
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	ix, err := c2knn.LoadIndex(*snap)
+	if err != nil {
+		switch {
+		case errors.Is(err, c2knn.ErrSnapshotVersion):
+			log.Printf("snapshot %s was written by an incompatible format version; rebuild it with this binary's c2build -snap", *snap)
+		case errors.Is(err, c2knn.ErrSnapshotCorrupt):
+			log.Printf("snapshot %s is corrupt; restore it from a good copy or rebuild", *snap)
+		}
+		log.Fatalf("load: %v", err)
+	}
+	log.Printf("loaded %s in %v: %d users, k=%d", *snap, time.Since(start).Round(time.Millisecond), ix.NumUsers(), ix.K())
+
+	srv, err := server.New(ix, server.Config{
+		SnapshotPath:  *snap,
+		MaxConcurrent: *pool,
+		CacheEntries:  *cache,
+		CacheShards:   *shards,
+		MaxBatch:      *batch,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	// The actual address (resolves port 0); the e2e harness parses this
+	// line, so keep its shape stable.
+	fmt.Printf("c2serve: listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		// Bound the whole response write: the worker pool releases its
+		// slot before the body is written, but a slow-reading client must
+		// still not be able to hold a connection (and its goroutine) open
+		// forever.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			if err := srv.Reload(); err != nil {
+				log.Printf("SIGHUP reload failed (%s): %v", server.ReloadErrorKind(err), err)
+				continue
+			}
+			cur := srv.Index()
+			log.Printf("SIGHUP reload ok: epoch %d, %d users, k=%d", srv.Epoch(), cur.NumUsers(), cur.K())
+		}
+	}()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		log.Printf("%v: draining (timeout %v)", sig, *drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("drain incomplete: %v", err)
+			os.Exit(1)
+		}
+		log.Printf("drained cleanly")
+	case err := <-done:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+	}
+}

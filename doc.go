@@ -79,6 +79,43 @@
 // panic and never yield a partially populated index. See
 // internal/persist for the full specification.
 //
+// # Serving over HTTP
+//
+// cmd/c2serve (built on internal/server) turns a snapshot into a
+// long-running query daemon:
+//
+//	c2build -in data.txt -snap index.c2
+//	c2serve -snap index.c2 -addr :8080
+//
+// Query endpoints come in two forms each: a single-user GET —
+// /v1/neighbors?user=U&k=K, /v1/topk?user=U&k=K and
+// /v1/recommend?user=U&n=N — and a batched POST taking
+// {"users":[...],"k":K} (or "n" for recommend) and returning
+// {"results":[...]} in request order. Batches are served by
+// Index.TopKBatch/Index.RecommendBatch, which reuse one pooled scoring
+// scratch across the whole batch. Out-of-range user ids yield empty
+// results, never errors: a stale client must not be able to 500 a
+// serving process.
+//
+// Inside the daemon, a bounded worker pool caps concurrent index work,
+// and a sharded LRU caches marshaled response bodies keyed on
+// (endpoint, snapshot epoch, params, users) — a cache hit writes bytes
+// straight to the wire and allocates nothing. /healthz reports
+// liveness plus the current snapshot epoch; /statsz reports qps
+// (sliding-window and lifetime), p50/p99 latency, per-endpoint counts
+// and the cache hit rate.
+//
+// Snapshots hot-swap with zero downtime: SIGHUP or POST /admin/reload
+// re-reads the snapshot file and atomically replaces the served index.
+// In-flight requests finish on the index they started with, later
+// requests see the new one, and the epoch in every cache key retires
+// stale cached results wholesale. A failed reload (missing, corrupt,
+// or version-skewed file) leaves the old index serving; LoadIndex
+// failures are classified by the exported sentinels — errors.Is with
+// ErrSnapshotVersion means "rebuild with this binary's c2build", with
+// ErrSnapshotCorrupt "restore the file" — so the daemon logs the right
+// remedy. SIGINT/SIGTERM drain in-flight requests before exit.
+//
 // The package root re-exports the stable surface of the internal
 // packages; see the examples directory for complete programs and
 // cmd/c2bench for the experiment harness.

@@ -1,0 +1,364 @@
+// End-to-end test of the build/serve toolchain as a user runs it:
+// generate a dataset, build a snapshot with the real c2build binary,
+// start the real c2serve daemon on a free port, and check that every
+// HTTP answer matches the in-process Index bit-for-bit — including
+// while 100 concurrent clients are hammering the daemon through a
+// zero-downtime snapshot hot-swap (POST /admin/reload and SIGHUP).
+package c2knn_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"slices"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"c2knn"
+	"c2knn/internal/dataset"
+	"c2knn/internal/server"
+)
+
+// buildBinaries compiles c2build and c2serve once into dir.
+func buildBinaries(t *testing.T, dir string) (c2build, c2serve string) {
+	t.Helper()
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go toolchain not on PATH; skipping binary e2e")
+	}
+	c2build = filepath.Join(dir, "c2build")
+	c2serve = filepath.Join(dir, "c2serve")
+	args := []string{"build"}
+	// When the test itself runs under -race (the CI server-race job),
+	// build the daemon race-instrumented too — otherwise the hot-swap
+	// interleavings this test provokes would only be checked in the
+	// client harness, not in the process actually serving them.
+	if server.RaceEnabled {
+		args = append(args, "-race")
+	}
+	for bin, pkg := range map[string]string{c2build: "./cmd/c2build", c2serve: "./cmd/c2serve"} {
+		cmd := exec.Command(goBin, append(args, "-o", bin, pkg)...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return c2build, c2serve
+}
+
+// startServe launches the daemon and returns its base URL and process.
+func startServe(t *testing.T, c2serve, snap string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(c2serve, "-snap", snap, "-addr", "127.0.0.1:0", "-cache", "2048")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	// The daemon prints "c2serve: listening on HOST:PORT" once bound.
+	sc := bufio.NewScanner(stdout)
+	deadline := time.After(30 * time.Second)
+	addrCh := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "c2serve: listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return "http://" + addr, cmd
+	case <-deadline:
+		t.Fatal("c2serve did not report a listen address within 30s")
+		return "", nil
+	}
+}
+
+type e2eRecommendResult struct {
+	User  int32   `json:"user"`
+	Items []int32 `json:"items"`
+}
+
+type e2eBatchResponse struct {
+	Results []e2eRecommendResult `json:"results"`
+}
+
+func fetchRecommend(client *http.Client, base string, u int32, n int) ([]int32, error) {
+	resp, err := client.Get(fmt.Sprintf("%s/v1/recommend?user=%d&n=%d", base, u, n))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var rec e2eRecommendResult
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		return nil, err
+	}
+	return rec.Items, nil
+}
+
+func fetchEpoch(client *http.Client, base string) (uint64, error) {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return 0, err
+	}
+	return h.Epoch, nil
+}
+
+func TestE2EServeDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("binary e2e is not -short")
+	}
+	dir := t.TempDir()
+	c2build, c2serve := buildBinaries(t, dir)
+
+	// Synth dataset -> plain-text profile file -> c2build -snap.
+	d, err := c2knn.Generate("ml1M", 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataPath := filepath.Join(dir, "data.txt")
+	if err := dataset.WriteFile(dataPath, d); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, "index.c2")
+	build := exec.Command(c2build, "-in", dataPath, "-snap", snap, "-k", "10", "-workers", "2", "-seed", "7")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("c2build: %v\n%s", err, out)
+	}
+
+	// The in-process reference the daemon must match bit-for-bit.
+	ix, err := c2knn.LoadIndex(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nRec = 10
+	users := ix.NumUsers()
+	expected := make([][]int32, users)
+	for u := 0; u < users; u++ {
+		expected[u] = ix.Recommend(int32(u), nRec)
+		if expected[u] == nil {
+			expected[u] = []int32{}
+		}
+	}
+
+	base, proc := startServe(t, c2serve, snap)
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        200,
+			MaxIdleConnsPerHost: 200,
+		},
+	}
+
+	// Phase 1: serial identity, single and batched.
+	for u := 0; u < users; u += 3 {
+		items, err := fetchRecommend(client, base, int32(u), nRec)
+		if err != nil {
+			t.Fatalf("user %d: %v", u, err)
+		}
+		if !slices.Equal(items, expected[u]) {
+			t.Fatalf("user %d: HTTP %v, Index.Recommend %v", u, items, expected[u])
+		}
+	}
+	batchUsers := make([]int32, 0, users)
+	for u := 0; u < users; u++ {
+		batchUsers = append(batchUsers, int32(u))
+	}
+	body, _ := json.Marshal(map[string]any{"users": batchUsers, "n": nRec})
+	resp, err := client.Post(base+"/v1/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch e2eBatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(batch.Results) != users {
+		t.Fatalf("batch returned %d results for %d users", len(batch.Results), users)
+	}
+	for u, r := range batch.Results {
+		if !slices.Equal(r.Items, expected[u]) {
+			t.Fatalf("user %d: batched HTTP %v, Index.Recommend %v", u, r.Items, expected[u])
+		}
+	}
+
+	// Phase 2: 100 concurrent clients, with a hot swap mid-load. The
+	// snapshot content is unchanged (same file reloaded), so every
+	// response — before, during, after the swap — must stay bit-for-bit
+	// identical, and no request may fail.
+	const clients = 100
+	const perClient = 20
+	var failed, mismatched int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				u := (c*perClient + i) % users
+				var items []int32
+				var err error
+				if i%5 == 4 { // every fifth request is a small batch
+					span := []int32{int32(u), int32((u + 1) % users), int32((u + 2) % users)}
+					b, _ := json.Marshal(map[string]any{"users": span, "n": nRec})
+					resp, perr := client.Post(base+"/v1/recommend", "application/json", bytes.NewReader(b))
+					if perr != nil {
+						err = perr
+					} else {
+						var br e2eBatchResponse
+						err = json.NewDecoder(resp.Body).Decode(&br)
+						resp.Body.Close()
+						if err == nil && resp.StatusCode != 200 {
+							err = fmt.Errorf("status %d", resp.StatusCode)
+						}
+						if err == nil && len(br.Results) != len(span) {
+							// A truncated results array is a wrong answer,
+							// not a shorter loop.
+							err = fmt.Errorf("batch returned %d results for %d users", len(br.Results), len(span))
+						}
+						if err == nil {
+							for j, r := range br.Results {
+								if !slices.Equal(r.Items, expected[span[j]]) {
+									mu.Lock()
+									mismatched++
+									mu.Unlock()
+								}
+							}
+							continue
+						}
+					}
+					if err != nil {
+						mu.Lock()
+						failed++
+						mu.Unlock()
+					}
+					continue
+				}
+				items, err = fetchRecommend(client, base, int32(u), nRec)
+				if err != nil {
+					mu.Lock()
+					failed++
+					mu.Unlock()
+					continue
+				}
+				// Compare unconditionally: a wrong-shaped 200 body decodes
+				// to nil items and must count as a mismatch, not a skip
+				// (expected[u] is non-nil for every user with items).
+				if !slices.Equal(items, expected[u]) {
+					mu.Lock()
+					mismatched++
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	// Mid-load: hot-swap twice, once via the admin endpoint and once via
+	// SIGHUP, checking the epoch advances both times.
+	epoch0, err := fetchEpoch(client, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Post(base+"/admin/reload", "application/json", nil)
+	if err != nil {
+		t.Fatalf("admin reload: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("admin reload: status %d", resp.StatusCode)
+	}
+	if err := proc.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatalf("SIGHUP: %v", err)
+	}
+	swapDeadline := time.Now().Add(15 * time.Second)
+	for {
+		ep, err := fetchEpoch(client, base)
+		if err == nil && ep >= epoch0+2 {
+			break
+		}
+		if time.Now().After(swapDeadline) {
+			t.Fatalf("epoch did not advance past %d within 15s (last %v, err %v)", epoch0+1, ep, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	wg.Wait()
+	if failed != 0 {
+		t.Fatalf("%d requests failed during the concurrent hot-swap load", failed)
+	}
+	if mismatched != 0 {
+		t.Fatalf("%d responses diverged from Index.Recommend during the load", mismatched)
+	}
+
+	// Phase 3: stats sanity after the storm.
+	resp, err = client.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Requests     uint64  `json:"requests"`
+		CacheHitRate float64 `json:"cache_hit_rate"`
+		Swaps        uint64  `json:"snapshot_swaps"`
+		P99Micros    float64 `json:"p99_us"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stats.Requests < clients*perClient/2 {
+		t.Fatalf("statsz reports %d requests, expected at least %d", stats.Requests, clients*perClient/2)
+	}
+	if stats.Swaps < 2 {
+		t.Fatalf("statsz reports %d swaps, expected >= 2", stats.Swaps)
+	}
+	if stats.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate %v after a repeating load, expected > 0", stats.CacheHitRate)
+	}
+	if stats.P99Micros <= 0 {
+		t.Fatalf("p99 %v after traffic, expected > 0", stats.P99Micros)
+	}
+
+	// Phase 4: graceful drain — SIGTERM must exit 0 after draining.
+	if err := proc.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- proc.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("c2serve did not exit cleanly on SIGTERM: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("c2serve did not exit within 20s of SIGTERM")
+	}
+}

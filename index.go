@@ -11,6 +11,20 @@ import (
 	"c2knn/internal/recommend"
 )
 
+// Typed snapshot-loading failures, re-exported from the persistence
+// layer so daemons can react to the two cases differently: a version
+// mismatch means "this snapshot needs a rebuild with the current
+// binary", while corruption means "this file is damaged — restore it".
+// Test with errors.Is against errors returned by LoadIndex.
+var (
+	// ErrSnapshotVersion tags snapshots written by an incompatible
+	// format version (rebuild needed).
+	ErrSnapshotVersion = persist.ErrVersion
+	// ErrSnapshotCorrupt tags malformed or damaged snapshot bytes
+	// (bad magic, checksum mismatch, truncation, invalid structure).
+	ErrSnapshotCorrupt = persist.ErrCorrupt
+)
+
 // FrozenGraph is the immutable CSR serving form of a Graph; see Freeze.
 type FrozenGraph = knng.Frozen
 
@@ -147,6 +161,51 @@ func (ix *Index) Recommend(u int32, n int) []int32 {
 	}
 	sc := ix.scorers.Get().(*recommend.Scorer)
 	out := sc.Recommend(ix.train, ix.graph, u, n, nil)
+	ix.scorers.Put(sc)
+	return out
+}
+
+// TopKBatch answers TopK for every user of users in one call, sharing a
+// single backing array across all per-user result slices (one
+// allocation per batch instead of one per user). Out-of-range ids yield
+// nil entries. The per-user results are identical to calling TopK user
+// by user.
+func (ix *Index) TopKBatch(users []int32, k int) [][]Neighbor {
+	out := make([][]Neighbor, len(users))
+	if k <= 0 {
+		return out
+	}
+	total := 0
+	for _, u := range users {
+		if !ix.valid(u) {
+			continue
+		}
+		if d := ix.graph.Degree(u); d < k {
+			total += d
+		} else {
+			total += k
+		}
+	}
+	buf := make([]Neighbor, 0, total)
+	for i, u := range users {
+		if !ix.valid(u) {
+			continue
+		}
+		start := len(buf)
+		buf = ix.graph.TopK(u, k, buf)
+		out[i] = buf[start:len(buf):len(buf)]
+	}
+	return out
+}
+
+// RecommendBatch answers Recommend for every user of users with one
+// pooled Scorer checked out for the whole batch — the serving batch
+// path: dense scoring scratch is reused across the batch rather than
+// fetched per query. Out-of-range ids yield nil entries. The per-user
+// results are identical to calling Recommend user by user.
+func (ix *Index) RecommendBatch(users []int32, n int) [][]int32 {
+	sc := ix.scorers.Get().(*recommend.Scorer)
+	out := sc.RecommendBatch(ix.train, ix.graph, users, n, make([][]int32, 0, len(users)))
 	ix.scorers.Put(sc)
 	return out
 }

@@ -1,6 +1,8 @@
 package c2knn_test
 
 import (
+	"errors"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -142,6 +144,46 @@ func TestIndexTopK(t *testing.T) {
 	}
 }
 
+// TestIndexBatchMatchesSerial: the batch serving methods must return
+// exactly what the single-query methods return, user for user, with
+// out-of-range ids mapped to nil entries rather than panics.
+func TestIndexBatchMatchesSerial(t *testing.T) {
+	ix := buildTestIndex(t)
+	users := []int32{0, 7, 3, 3, -1, int32(ix.NumUsers()), 11, 1}
+	recs := ix.RecommendBatch(users, 15)
+	tops := ix.TopKBatch(users, 4)
+	if len(recs) != len(users) || len(tops) != len(users) {
+		t.Fatalf("batch lengths %d/%d for %d users", len(recs), len(tops), len(users))
+	}
+	for i, u := range users {
+		wantRec := ix.Recommend(u, 15)
+		if len(recs[i]) != len(wantRec) {
+			t.Fatalf("user %d: batch recommends %d items, serial %d", u, len(recs[i]), len(wantRec))
+		}
+		for j := range wantRec {
+			if recs[i][j] != wantRec[j] {
+				t.Fatalf("user %d: batch item %d = %d, serial %d", u, j, recs[i][j], wantRec[j])
+			}
+		}
+		wantTop := ix.TopK(u, 4)
+		if len(tops[i]) != len(wantTop) {
+			t.Fatalf("user %d: batch topk %d neighbors, serial %d", u, len(tops[i]), len(wantTop))
+		}
+		for j := range wantTop {
+			if tops[i][j] != wantTop[j] {
+				t.Fatalf("user %d: batch topk[%d] = %+v, serial %+v", u, j, tops[i][j], wantTop[j])
+			}
+		}
+	}
+	// Degenerate shapes.
+	if got := ix.RecommendBatch(nil, 5); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+	if got := ix.TopKBatch([]int32{1, 2}, 0); len(got) != 2 || got[0] != nil || got[1] != nil {
+		t.Fatalf("TopKBatch with k=0 = %v, want nil entries", got)
+	}
+}
+
 // TestIndexOutOfRangeUsers: the request-facing methods must return
 // empty results for malformed user ids, not panic.
 func TestIndexOutOfRangeUsers(t *testing.T) {
@@ -176,6 +218,51 @@ func TestNewIndexValidates(t *testing.T) {
 		if _, err := c2knn.NewIndex(g, small, nil); err == nil {
 			t.Error("NewIndex accepted mismatched user counts")
 		}
+	}
+}
+
+// TestLoadIndexTypedErrors: LoadIndex failures must be classifiable
+// with errors.Is, not string matching — a daemon logs "rebuild needed"
+// for version skew and "restore the file" for corruption, and batch
+// tests assert each class lands on its own sentinel only.
+func TestLoadIndexTypedErrors(t *testing.T) {
+	ix := buildTestIndex(t)
+	path := filepath.Join(t.TempDir(), "index.c2")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Version skew: the uint32 at offset 8 is the format version (the
+	// header is unchecksummed framing, so only the version check sees it).
+	skewed := append([]byte(nil), raw...)
+	skewed[8] = 0x7f
+	if err := os.WriteFile(path, skewed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c2knn.LoadIndex(path)
+	if !errors.Is(err, c2knn.ErrSnapshotVersion) {
+		t.Fatalf("version-skewed snapshot: err = %v, want errors.Is ErrSnapshotVersion", err)
+	}
+	if errors.Is(err, c2knn.ErrSnapshotCorrupt) {
+		t.Fatalf("version skew must not also read as corruption: %v", err)
+	}
+
+	// Corruption: flip one payload byte; the section checksum catches it.
+	corrupt := append([]byte(nil), raw...)
+	corrupt[len(corrupt)/2] ^= 0xff
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c2knn.LoadIndex(path)
+	if !errors.Is(err, c2knn.ErrSnapshotCorrupt) {
+		t.Fatalf("corrupt snapshot: err = %v, want errors.Is ErrSnapshotCorrupt", err)
+	}
+	if errors.Is(err, c2knn.ErrSnapshotVersion) {
+		t.Fatalf("corruption must not also read as version skew: %v", err)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"c2knn/internal/server"
 )
 
 // tinyEnv keeps experiment tests fast: minimum populations, 2 folds.
@@ -225,6 +227,39 @@ func TestAblationsRun(t *testing.T) {
 		if r.Quality <= 0 {
 			t.Errorf("%s: quality %v", r.Variant, r.Quality)
 		}
+	}
+}
+
+// TestServeHTTPRun drives the daemon load experiment end to end on a
+// tiny preset: the correctness gates CI enforces on BENCH_http.json
+// must hold here too — no failed or mismatched responses through the
+// mid-load hot swap, and an allocation-free cache-hit path.
+func TestServeHTTPRun(t *testing.T) {
+	e := tinyEnv()
+	sum, err := e.ServeHTTP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests == 0 || sum.Queries < sum.Requests {
+		t.Fatalf("degenerate load: %+v", sum)
+	}
+	if sum.FailedReqs != 0 {
+		t.Errorf("%d failed requests during the load", sum.FailedReqs)
+	}
+	if sum.MismatchedResps != 0 {
+		t.Errorf("%d responses diverged from Index.Recommend", sum.MismatchedResps)
+	}
+	if sum.HotSwaps < 1 {
+		t.Errorf("hot swap did not complete (%d)", sum.HotSwaps)
+	}
+	if sum.CacheHitAllocsPerQuery != 0 && !server.RaceEnabled {
+		t.Errorf("cache-hit path allocates %v per query, want 0", sum.CacheHitAllocsPerQuery)
+	}
+	if sum.CacheHitRate <= 0 {
+		t.Errorf("cache hit rate %v after a repeating load, want > 0", sum.CacheHitRate)
+	}
+	if sum.QPS <= 0 || sum.P99Micros <= 0 {
+		t.Errorf("degenerate throughput/latency: %+v", sum)
 	}
 }
 

@@ -178,6 +178,25 @@ func (s *Scorer) Recommend(train *dataset.Dataset, g *knng.Frozen, u int32, n in
 	return rankScored(s.ranked, n, dst)
 }
 
+// RecommendBatch recommends n items to every user of users, reusing
+// the scorer's dense scratch across the whole batch — the serving
+// batch path: one Scorer checkout amortizes over the batch instead of
+// hitting the pool once per user. Each result is appended to out as its
+// own freshly allocated slice (results outlive the scorer); users whose
+// id falls outside the training population yield a nil entry rather
+// than a panic, mirroring the request-facing tolerance of c2knn.Index.
+// The extended out is returned.
+func (s *Scorer) RecommendBatch(train *dataset.Dataset, g *knng.Frozen, users []int32, n int, out [][]int32) [][]int32 {
+	for _, u := range users {
+		if u < 0 || int(u) >= train.NumUsers() {
+			out = append(out, nil)
+			continue
+		}
+		out = append(out, s.Recommend(train, g, u, n, nil))
+	}
+	return out
+}
+
 // Recall returns |rec ∩ test| / |test|, or -1 when test is empty (the
 // user does not participate in the average).
 func Recall(rec, test []int32) float64 {

@@ -1,0 +1,174 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := NewCache(64, 4, 0)
+	if _, ok := c.Get([]byte("absent")); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put([]byte("a"), []byte("va"))
+	if v, ok := c.Get([]byte("a")); !ok || string(v) != "va" {
+		t.Fatalf("Get(a) = %q, %v; want va, true", v, ok)
+	}
+	// Overwrite keeps a single entry.
+	c.Put([]byte("a"), []byte("v2"))
+	if v, _ := c.Get([]byte("a")); string(v) != "v2" {
+		t.Fatalf("after overwrite Get(a) = %q, want v2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after overwriting one key, want 1", c.Len())
+	}
+}
+
+func TestCacheNilDisabled(t *testing.T) {
+	var c *Cache // NewCache(0, ...) returns nil: caching disabled
+	if NewCache(0, 8, 0) != nil {
+		t.Fatal("NewCache(0) should return nil")
+	}
+	c.Put([]byte("k"), []byte("v"))
+	if _, ok := c.Get([]byte("k")); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil cache has non-zero Len")
+	}
+}
+
+// TestCacheLRUEviction drives one shard past capacity and checks that
+// the least-recently-used key is the one that leaves.
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(3, 1, 0) // single shard, capacity 3
+	c.Put([]byte("a"), []byte("1"))
+	c.Put([]byte("b"), []byte("2"))
+	c.Put([]byte("c"), []byte("3"))
+	c.Get([]byte("a")) // refresh a; b is now LRU
+	c.Put([]byte("d"), []byte("4"))
+	if _, ok := c.Get([]byte("b")); ok {
+		t.Fatal("LRU key b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get([]byte(k)); !ok {
+			t.Fatalf("key %s was evicted, want only b", k)
+		}
+	}
+}
+
+// TestCacheCapacityBound fills far past capacity and checks the bound
+// holds and the most recent keys survive.
+func TestCacheCapacityBound(t *testing.T) {
+	const capacity, shards = 128, 8
+	c := NewCache(capacity, shards, 0)
+	for i := 0; i < 10*capacity; i++ {
+		c.Put([]byte(fmt.Sprintf("key-%d", i)), []byte{byte(i)})
+	}
+	// Per-shard rounding may admit slightly more than the nominal total.
+	if n := c.Len(); n > capacity+shards {
+		t.Fatalf("cache holds %d entries, want <= %d", n, capacity+shards)
+	}
+}
+
+// TestCacheByteBudget: the byte budget, not the entry count, is what
+// bounds memory when values are large — filling with big values must
+// evict down to the budget, and a value that cannot fit at all must be
+// refused rather than blowing the bound.
+func TestCacheByteBudget(t *testing.T) {
+	c := NewCache(1024, 1, 4096) // one shard, 4 KiB budget, roomy entry cap
+	val := make([]byte, 1000)
+	for i := 0; i < 16; i++ {
+		c.Put([]byte(fmt.Sprintf("big-%d", i)), val)
+	}
+	if n := c.Len(); n > 4 {
+		t.Fatalf("cache holds %d x 1000-byte values under a 4096-byte budget", n)
+	}
+	if _, ok := c.Get([]byte("big-15")); !ok {
+		t.Fatal("most recent value was evicted instead of the oldest")
+	}
+	if _, ok := c.Get([]byte("big-0")); ok {
+		t.Fatal("oldest value survived a full byte-budget sweep")
+	}
+	// Oversized value: refused, and the existing entries stay.
+	before := c.Len()
+	c.Put([]byte("huge"), make([]byte, 8192))
+	if _, ok := c.Get([]byte("huge")); ok {
+		t.Fatal("cached a value larger than the whole shard budget")
+	}
+	if c.Len() != before {
+		t.Fatalf("oversized Put disturbed the cache: %d -> %d entries", before, c.Len())
+	}
+	// Overwriting with a larger value keeps the budget enforced.
+	c.Put([]byte("big-15"), make([]byte, 3000))
+	if n := c.Len(); n > 2 {
+		t.Fatalf("budget not enforced on overwrite: %d entries", n)
+	}
+	if v, ok := c.Get([]byte("big-15")); !ok || len(v) != 3000 {
+		t.Fatal("overwritten entry lost")
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(64, 4, 0)
+	for i := 0; i < 20; i++ {
+		c.Put([]byte(fmt.Sprintf("k-%d", i)), []byte("v"))
+	}
+	c.Flush()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Flush, want 0", c.Len())
+	}
+	if _, ok := c.Get([]byte("k-3")); ok {
+		t.Fatal("flushed key still readable")
+	}
+	// The cache must remain fully usable (budgets reset, list rebuilt).
+	c.Put([]byte("again"), []byte("v2"))
+	if v, ok := c.Get([]byte("again")); !ok || string(v) != "v2" {
+		t.Fatal("cache unusable after Flush")
+	}
+	var nilCache *Cache
+	nilCache.Flush() // must not panic
+}
+
+func TestCacheGetZeroAlloc(t *testing.T) {
+	c := NewCache(64, 4, 0)
+	key := []byte("hot-key")
+	c.Put(key, []byte("value"))
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, ok := c.Get(key); !ok {
+			t.Fatal("lost the hot key")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Cache.Get allocates %.1f per hit, want 0", allocs)
+	}
+}
+
+// TestCacheConcurrent hammers one cache from many goroutines (run
+// under -race in CI) and sanity-checks values are never torn.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(256, 8, 0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 5000; i++ {
+				k := byte(rng.Intn(64))
+				key := []byte{k}
+				if rng.Intn(2) == 0 {
+					c.Put(key, []byte{k, k})
+				} else if v, ok := c.Get(key); ok {
+					if len(v) != 2 || v[0] != k || v[1] != k {
+						t.Errorf("torn value %v for key %d", v, k)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Endpoint identifies one of the query endpoints for per-endpoint
+// accounting.
+type Endpoint int
+
+const (
+	EpNeighbors Endpoint = iota
+	EpTopK
+	EpRecommend
+	numEndpoints
+)
+
+func (e Endpoint) String() string {
+	switch e {
+	case EpNeighbors:
+		return "neighbors"
+	case EpTopK:
+		return "topk"
+	case EpRecommend:
+		return "recommend"
+	}
+	return "unknown"
+}
+
+// Latency histogram layout: exact 1 µs buckets below 16 µs, then 16
+// log-linear sub-buckets per octave (HDR-style, ~6% relative error),
+// capped at histBuckets. The representative value of a bucket is its
+// upper bound, so reported percentiles never flatter the server.
+const (
+	histSubBuckets = 16
+	histOctaves    = 28 // covers up to 16 µs << 28 ≈ 4500 s
+	histBuckets    = histSubBuckets * (histOctaves + 1)
+)
+
+func bucketOf(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us < histSubBuckets {
+		return int(us)
+	}
+	exp := bits.Len64(us) - 5 // halvings that bring us into [16, 32)
+	i := exp*histSubBuckets + int(us>>uint(exp))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// bucketUpperMicros returns the exclusive upper bound (in µs) of bucket
+// i — the value percentiles report.
+func bucketUpperMicros(i int) float64 {
+	if i < histSubBuckets {
+		return float64(i + 1)
+	}
+	// Invert bucketOf: i = exp*16 + mant with mant in [16, 32).
+	exp := i/histSubBuckets - 1
+	mant := i - histSubBuckets*exp
+	return float64(uint64(mant+1) << uint(exp))
+}
+
+// qpsWindowSlots is the size of the per-second request-count ring the
+// sliding-window rate is computed over.
+const qpsWindowSlots = 16
+
+// Stats aggregates the serving daemon's observability counters. All
+// recording methods are lock-free (atomics only) and allocation-free,
+// so they are safe on the cache-hit fast path.
+type Stats struct {
+	start time.Time
+
+	requests   atomic.Uint64
+	byEndpoint [numEndpoints]atomic.Uint64
+	batched    atomic.Uint64 // batch requests (subset of requests)
+	queries    atomic.Uint64 // user-queries answered (batch counts each user)
+	badRequest atomic.Uint64
+	cacheHits  atomic.Uint64
+	cacheMiss  atomic.Uint64
+	swaps      atomic.Uint64
+
+	hist [histBuckets]atomic.Uint64
+
+	qpsCounts [qpsWindowSlots]atomic.Uint64
+	qpsStamps [qpsWindowSlots]atomic.Int64
+}
+
+// NewStats returns a Stats anchored at now.
+func NewStats() *Stats {
+	return &Stats{start: time.Now()}
+}
+
+// RecordQuery accounts one answered request on endpoint ep: latency d,
+// nQueries user-queries (1 for single requests, the batch length for
+// batched ones), and whether the result came from the cache.
+func (st *Stats) RecordQuery(ep Endpoint, d time.Duration, nQueries int, batched, cacheHit bool) {
+	st.requests.Add(1)
+	st.byEndpoint[ep].Add(1)
+	st.queries.Add(uint64(nQueries))
+	if batched {
+		st.batched.Add(1)
+	}
+	if cacheHit {
+		st.cacheHits.Add(1)
+	} else {
+		st.cacheMiss.Add(1)
+	}
+	st.hist[bucketOf(d)].Add(1)
+
+	sec := time.Now().Unix()
+	slot := sec % qpsWindowSlots
+	if old := st.qpsStamps[slot].Load(); old != sec {
+		// One winner resets the slot for the new second; losers just add
+		// to it. A request racing the reset can be dropped from the
+		// window — acceptable for a rate estimate, never for totals.
+		if st.qpsStamps[slot].CompareAndSwap(old, sec) {
+			st.qpsCounts[slot].Store(0)
+		}
+	}
+	st.qpsCounts[slot].Add(1)
+}
+
+// RecordBadRequest accounts a request rejected before reaching an index
+// (malformed body, bad params).
+func (st *Stats) RecordBadRequest() { st.badRequest.Add(1) }
+
+// RecordSwap accounts one successful snapshot hot-swap.
+func (st *Stats) RecordSwap() { st.swaps.Add(1) }
+
+// percentile returns the p-quantile (0 < p <= 1) of recorded latencies
+// in microseconds, or 0 when nothing has been recorded. The histogram
+// is read without synchronization against writers; under load the
+// result is an instantaneous estimate, which is what /statsz wants.
+func (st *Stats) percentile(p float64) float64 {
+	var total uint64
+	var counts [histBuckets]uint64
+	for i := range st.hist {
+		counts[i] = st.hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return bucketUpperMicros(i)
+		}
+	}
+	return bucketUpperMicros(histBuckets - 1)
+}
+
+// windowRate returns requests/sec over the trailing full seconds of the
+// sliding window (the current partial second is excluded).
+func (st *Stats) windowRate(now time.Time) float64 {
+	cur := now.Unix()
+	var n uint64
+	secs := 0
+	for i := 0; i < qpsWindowSlots; i++ {
+		stamp := st.qpsStamps[i].Load()
+		if stamp >= cur-qpsWindowSlots+1 && stamp < cur {
+			n += st.qpsCounts[i].Load()
+			secs++
+		}
+	}
+	if secs == 0 {
+		return 0
+	}
+	return float64(n) / float64(secs)
+}
+
+// Snapshot is the JSON shape of /statsz.
+type Snapshot struct {
+	UptimeSec float64 `json:"uptime_sec"`
+
+	Requests    uint64            `json:"requests"`
+	ByEndpoint  map[string]uint64 `json:"by_endpoint"`
+	Batched     uint64            `json:"batched_requests"`
+	Queries     uint64            `json:"queries"`
+	BadRequests uint64            `json:"bad_requests"`
+
+	QPSWindow   float64 `json:"qps_window"`   // trailing sliding window
+	QPSLifetime float64 `json:"qps_lifetime"` // requests / uptime
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	CacheEntries int     `json:"cache_entries"`
+
+	Swaps uint64 `json:"snapshot_swaps"`
+	Epoch uint64 `json:"snapshot_epoch"`
+	Users int    `json:"users"`
+	K     int    `json:"k"`
+}
+
+// snapshot renders the counters; cacheEntries, epoch, users and k come
+// from the server, which owns those.
+func (st *Stats) snapshot() Snapshot {
+	now := time.Now()
+	up := now.Sub(st.start).Seconds()
+	s := Snapshot{
+		UptimeSec:   up,
+		Requests:    st.requests.Load(),
+		ByEndpoint:  make(map[string]uint64, numEndpoints),
+		Batched:     st.batched.Load(),
+		Queries:     st.queries.Load(),
+		BadRequests: st.badRequest.Load(),
+		QPSWindow:   st.windowRate(now),
+		P50Micros:   st.percentile(0.50),
+		P99Micros:   st.percentile(0.99),
+		CacheHits:   st.cacheHits.Load(),
+		CacheMisses: st.cacheMiss.Load(),
+		Swaps:       st.swaps.Load(),
+	}
+	for ep := Endpoint(0); ep < numEndpoints; ep++ {
+		s.ByEndpoint[ep.String()] = st.byEndpoint[ep].Load()
+	}
+	if up > 0 {
+		s.QPSLifetime = float64(s.Requests) / up
+	}
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(lookups)
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip: every bucket's representative value must map
+// back into that bucket, and bucket indexes must be monotone in the
+// duration — otherwise percentiles are meaningless.
+func TestBucketRoundTrip(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		upper := bucketUpperMicros(i)
+		// The largest duration strictly inside the bucket.
+		d := time.Duration(upper-1) * time.Microsecond
+		if i == 0 {
+			d = 0
+		}
+		if got := bucketOf(d); got != i {
+			t.Fatalf("bucket %d: upper %v µs, bucketOf(upper-1µs) = %d", i, upper, got)
+		}
+	}
+	prev := -1
+	for us := 0; us < 1<<20; us = us*2 + 1 {
+		b := bucketOf(time.Duration(us) * time.Microsecond)
+		if b < prev {
+			t.Fatalf("bucketOf not monotone at %d µs: %d < %d", us, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestStatsPercentiles(t *testing.T) {
+	st := NewStats()
+	if p := st.percentile(0.5); p != 0 {
+		t.Fatalf("empty histogram p50 = %v, want 0", p)
+	}
+	// 99 fast queries and one slow one: p50 in the fast range, p99+
+	// catching the outlier's octave.
+	for i := 0; i < 99; i++ {
+		st.RecordQuery(EpRecommend, 10*time.Microsecond, 1, false, false)
+	}
+	st.RecordQuery(EpRecommend, 50*time.Millisecond, 1, false, false)
+	if p50 := st.percentile(0.5); p50 < 10 || p50 > 12 {
+		t.Errorf("p50 = %v µs, want ~11", p50)
+	}
+	p999 := st.percentile(0.999)
+	if p999 < 50_000 || p999 > 60_000 {
+		t.Errorf("p99.9 = %v µs, want ~50000 (within one sub-bucket)", p999)
+	}
+}
+
+func TestStatsSnapshotCounters(t *testing.T) {
+	st := NewStats()
+	st.RecordQuery(EpRecommend, time.Millisecond, 1, false, false)
+	st.RecordQuery(EpRecommend, time.Millisecond, 8, true, true)
+	st.RecordQuery(EpNeighbors, time.Millisecond, 1, false, true)
+	st.RecordBadRequest()
+	st.RecordSwap()
+	s := st.snapshot()
+	if s.Requests != 3 || s.Queries != 10 || s.Batched != 1 || s.BadRequests != 1 || s.Swaps != 1 {
+		t.Fatalf("snapshot counters off: %+v", s)
+	}
+	if s.ByEndpoint["recommend"] != 2 || s.ByEndpoint["neighbors"] != 1 || s.ByEndpoint["topk"] != 0 {
+		t.Fatalf("per-endpoint counters off: %+v", s.ByEndpoint)
+	}
+	if s.CacheHits != 2 || s.CacheMisses != 1 {
+		t.Fatalf("cache counters off: %+v", s)
+	}
+	if want := 2.0 / 3.0; s.CacheHitRate < want-1e-9 || s.CacheHitRate > want+1e-9 {
+		t.Fatalf("hit rate %v, want %v", s.CacheHitRate, want)
+	}
+}
+
+func TestStatsRecordZeroAlloc(t *testing.T) {
+	st := NewStats()
+	allocs := testing.AllocsPerRun(1000, func() {
+		st.RecordQuery(EpRecommend, 123*time.Microsecond, 1, false, true)
+	})
+	if allocs != 0 {
+		t.Errorf("RecordQuery allocates %.1f per call, want 0", allocs)
+	}
+}

@@ -76,6 +76,52 @@ elif [ -f "$SERVE_JSON" ]; then
   echo "serve record $SERVE_JSON is stale (>60 min); skipping its gate"
 fi
 
+HTTP_JSON="benchmarks/BENCH_http.json"
+
+# Gate the HTTP daemon record (scripts/bench-http.sh): under a
+# 100-client concurrent load with a mid-load snapshot hot-swap, no
+# request may fail and no response may diverge from the serial
+# Index.Recommend reference; the cache must actually be hit; and the
+# cache-hit fast path must be allocation-free. Throughput and latency
+# are recorded but not gated — shared runners are too noisy to judge
+# them.
+if [ -f "$HTTP_JSON" ] && [ -n "$(find "$HTTP_JSON" -mmin -60 2>/dev/null)" ]; then
+  echo "http serving record ($HTTP_JSON):"
+  cat "$HTTP_JSON"
+  awk '
+    match($0, /"failed_requests": *[0-9]+/)                 { split(substr($0, RSTART, RLENGTH), a, ": *"); failed = a[2] + 0 }
+    match($0, /"mismatched_responses": *[0-9]+/)            { split(substr($0, RSTART, RLENGTH), a, ": *"); mism = a[2] + 0 }
+    match($0, /"hot_swaps": *[0-9]+/)                       { split(substr($0, RSTART, RLENGTH), a, ": *"); swaps = a[2] + 0 }
+    match($0, /"cache_hit_rate": *[0-9.]+/)                 { split(substr($0, RSTART, RLENGTH), a, ": *"); hit = a[2] + 0 }
+    match($0, /"cache_hit_allocs_per_query": *-?[0-9.]+/)   { split(substr($0, RSTART, RLENGTH), a, ": *"); allocs = a[2] + 0 }
+    END {
+      if (failed > 0) {
+        printf("%d HTTP requests failed under concurrent load, want 0\n", failed) > "/dev/stderr"
+        exit 1
+      }
+      if (mism > 0) {
+        printf("%d HTTP responses diverged from Index.Recommend, want 0\n", mism) > "/dev/stderr"
+        exit 1
+      }
+      if (swaps < 1) {
+        printf("mid-load hot swap did not complete (%d swaps)\n", swaps) > "/dev/stderr"
+        exit 1
+      }
+      if (allocs != 0) {
+        printf("cache-hit path allocates (%.4f allocs/query), want 0\n", allocs) > "/dev/stderr"
+        exit 1
+      }
+      if (hit < 0.2) {
+        printf("cache hit rate %.3f below the 0.2 floor for a repeating load\n", hit) > "/dev/stderr"
+        exit 1
+      }
+      printf("http gate ok: 0 failures, 0 mismatches through %d hot swap(s), hit rate %.2f, alloc-free hits\n", swaps, hit)
+    }
+  ' "$HTTP_JSON"
+elif [ -f "$HTTP_JSON" ]; then
+  echo "http record $HTTP_JSON is stale (>60 min); skipping its gate"
+fi
+
 if [ ! -f "$BASELINE" ] || ! grep -q '^Benchmark' "$BASELINE"; then
   echo "baseline missing or empty; skipping compare"
   exit 0

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run the HTTP serving-daemon load test (100 concurrent clients against
+# internal/server, with a mid-load snapshot hot-swap) on a small preset
+# and record benchmarks/BENCH_http.json — the serving-correctness and
+# throughput tracker consumed by scripts/bench-compare.sh and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${HTTP_SCALE:-0.02}"
+WORKERS="${HTTP_WORKERS:-4}"
+
+mkdir -p benchmarks
+go run ./cmd/c2bench -exp serve-http -scale "$SCALE" -workers "$WORKERS" \
+  -json benchmarks/BENCH_http.json
+echo "wrote benchmarks/BENCH_http.json"
