@@ -27,6 +27,35 @@
 // to per-pair dispatch; both paths produce bit-identical graphs. See
 // EXPERIMENTS.md for measured speedups.
 //
+// # Blocked row kernels and threshold-gated solvers
+//
+// On top of the gathered kernels, the solvers score row-batched: a
+// member's similarities against a whole block of candidates are
+// computed in one kernel call (SimRow for contiguous blocks, SimBatch
+// for candidate lists; GoldFinger also serves global-id rows straight
+// from its signature slab through the RowProvider fast path, which the
+// exact brute-force baseline uses). Batching amortizes dispatch,
+// keeps the inner AND-popcount loop marching through contiguous
+// memory, and lets per-pair float divides pipeline instead of
+// serializing against consumption.
+//
+// Scored rows enter the bounded neighbor lists through a threshold
+// gate: a candidate that cannot beat the destination list's current
+// minimum (Min/WouldAccept, mirrored into dense per-worker scratch
+// inside the sweeps) is dismissed with one comparison of two
+// cache-resident scratch reads — no heap access at all — which is the
+// fate of the vast majority of candidates once lists warm up. The
+// brute-force sweep additionally walks vertical panels so the largest
+// clusters' gathered slabs stay cache-resident, offers each candidate
+// id to a list exactly once (skipping the duplicate scan entirely),
+// and batches the exact baseline's forward edges under a single
+// stripe-lock acquisition per row. The blocked paths are bit-for-bit
+// graph-identical to their pair-at-a-time references, which are kept
+// (LocalIntoScalar) as frozen baselines for the equivalence tests and
+// the BenchmarkLocalSolve regression family; EXPERIMENTS.md records
+// the measured wins and an honest account of where the remaining time
+// goes.
+//
 // # Pipelined clustering
 //
 // BuildC2 streams clusters into the solver pool as the t clustering

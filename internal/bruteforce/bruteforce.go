@@ -2,6 +2,18 @@
 // comparison — the paper's reference baseline (§IV-B1, n(n−1)/2 similarity
 // computations) and also the local solver Cluster-and-Conquer applies to
 // small clusters (§II-F).
+//
+// Both the global baseline and the cluster-local solver run row-batched:
+// a user's similarities against a whole block of candidates are scored
+// in one kernel call (similarity.Local.SimRow locally,
+// similarity.RowProvider globally when available) into a scratch row,
+// and results enter the bounded neighbor lists through a threshold gate
+// (knng.List's Min/WouldAccept fast path, mirrored into dense scratch
+// inside the local sweep) that dismisses the vast majority of
+// candidates with one comparison once lists warm up. The blocked path
+// is bit-for-bit graph-identical to the pair-at-a-time formulation —
+// LocalIntoScalar keeps that formulation as the frozen reference the
+// equivalence tests and regression benchmarks compare against.
 package bruteforce
 
 import (
@@ -14,6 +26,10 @@ import (
 // Build computes the exact KNN graph over users 0..n-1 with neighborhoods
 // of size k, parallelized over `workers` goroutines. Each unordered pair
 // is evaluated exactly once and the result feeds both endpoints' lists.
+// Rows are scored in one batch — through p's RowProvider fast path when
+// it has one — and each row's forward edges enter the graph under a
+// single stripe-lock acquisition (knng.Shared.InsertRun), halving the
+// baseline's lock traffic versus the historical two locks per pair.
 func Build(n, k int, p similarity.Provider, workers int) *knng.Graph {
 	g := knng.New(n, k)
 	if n < 2 {
@@ -23,6 +39,7 @@ func Build(n, k int, p similarity.Provider, workers int) *knng.Graph {
 		workers = 1
 	}
 	shared := knng.NewShared(g)
+	rp, _ := p.(similarity.RowProvider)
 	// Rows are distributed in strided fashion: row u costs n-u-1
 	// similarity computations, so striding balances work across workers
 	// without a queue.
@@ -31,11 +48,28 @@ func Build(n, k int, p similarity.Provider, workers int) *knng.Graph {
 		wg.Add(1)
 		go func(start int) {
 			defer wg.Done()
+			var row []float64
 			for u := start; u < n; u += workers {
+				cnt := n - u - 1
+				if cnt == 0 {
+					continue
+				}
+				row = similarity.GrowRow(row, cnt)
+				if rp != nil {
+					rp.SimRow(int32(u), int32(u+1), int32(n), row)
+				} else {
+					for v := u + 1; v < n; v++ {
+						row[v-u-1] = p.Sim(int32(u), int32(v))
+					}
+				}
+				// Forward edges batched under one lock; reverse edges
+				// fan out to n-u-1 distinct users and keep per-pair
+				// locking. Per list, the insert sequence is the same as
+				// the historical interleaved loop, so single-worker
+				// results are identical.
+				shared.InsertRun(int32(u), int32(u+1), row)
 				for v := u + 1; v < n; v++ {
-					s := p.Sim(int32(u), int32(v))
-					shared.Insert(int32(u), int32(v), s)
-					shared.Insert(int32(v), int32(u), s)
+					shared.Insert(int32(v), int32(u), row[v-u-1])
 				}
 			}
 		}(w)
@@ -44,11 +78,16 @@ func Build(n, k int, p similarity.Provider, workers int) *knng.Graph {
 	return g
 }
 
-// Scratch holds the reusable per-worker state of LocalInto. The zero
-// value is ready to use; reusing one Scratch across clusters makes
-// steady-state solving allocation-free.
+// Scratch holds the reusable per-worker state of LocalInto: the neighbor
+// lists under construction, the scored similarity row of the blocked
+// sweep, and the dense per-list gate thresholds. The zero value is
+// ready to use; reusing one Scratch across clusters makes steady-state
+// solving allocation-free.
 type Scratch struct {
 	lists []knng.List
+	slab  []knng.Neighbor
+	row   []float64
+	mins  []float64
 }
 
 // LocalInto computes the exact KNN lists of the gathered cluster loc,
@@ -58,26 +97,174 @@ type Scratch struct {
 // next LocalInto call on s. This is the per-cluster solver used by C²
 // and LSH; it is sequential — parallelism comes from processing many
 // clusters at once.
+//
+// The sweep is triangular and blocked: member i's similarities against
+// members i+1..m-1 are scored in one SimRow call into the scratch row,
+// then offered to both endpoints' lists behind a threshold gate. The
+// gate thresholds live in a dense scratch array (mins[v] mirrors
+// lists[v].Min(), with the row-owner's threshold held in a local), so a
+// rejected candidate — the overwhelming majority once lists warm up —
+// costs one compare of two contiguous scratch reads instead of an
+// Insert call chasing into the target list's heap storage. The gate is
+// conservative-exact: sim > mins[v] admits every candidate Insert could
+// accept (mins is -1 while a list has room; InsertDistinct still
+// rejects degenerate sims).
+//
+// Bit-for-bit equivalence with the pair-at-a-time loop
+// (LocalIntoScalar) holds because each list's state evolves
+// independently and its candidate arrival order is unchanged — list v
+// still sees (i, v) for i < v in ascending i, then (v, j) for j > v in
+// ascending j — and a gated-out candidate is precisely one Insert would
+// reject without changing the list, so tie-breaking is identical and
+// both paths produce bit-identical lists.
 func LocalInto(loc *similarity.Local, k int, s *Scratch) []knng.List {
+	m := loc.Len()
+	// One contiguous slab backs every list's heap; for the large
+	// clusters of the brute-force regime this also spares thousands of
+	// first-use heap allocations per fresh Scratch.
+	s.lists, s.slab = knng.ReuseListsIn(s.lists, s.slab, m, k)
+	lists := s.lists
+	if m < 2 {
+		return lists
+	}
+	s.row = similarity.GrowRow(s.row, min(m-1, colBlock))
+	s.mins = similarity.GrowRow(s.mins, m)
+	mins := s.mins
+	for v := range mins {
+		mins[v] = -1 // empty lists accept anything well-formed
+	}
+	// The sweep walks vertical panels of colBlock columns, row-major
+	// inside each panel: for clusters whose gathered kernel outgrows the
+	// cache, a row pass then touches only the panel's slice of the
+	// signature slab (and of the list slab), instead of streaming the
+	// whole cluster's signatures through the cache once per row.
+	//
+	// Lists run on local indices; ids are remapped once at the end
+	// (k entries per member) instead of once per pair.
+	for c0 := 1; c0 < m; c0 += colBlock {
+		c1 := min(c0+colBlock, m)
+		for i := 0; i < c1-1; i++ {
+			lo := max(i+1, c0)
+			row := s.row[:c1-lo]
+			loc.SimRow(i, lo, c1, row)
+			li := &lists[i]
+			minI := mins[i] // reverse inserts into list i precede row i
+			// minsPane realigns the gate thresholds to the row so the
+			// per-pair reads are provably in bounds.
+			minsPane := mins[lo:c1]
+			minsPane = minsPane[:len(row)]
+			for x, sim := range row {
+				// InsertDistinct: the triangular sweep offers (j to
+				// list i, i to list j) exactly once each, so the
+				// duplicate scan is provably dead.
+				if sim > minI {
+					if li.InsertDistinct(int32(lo+x), sim) {
+						minI = li.Min()
+					}
+				}
+				if sim > minsPane[x] {
+					j := lo + x
+					if lists[j].InsertDistinct(int32(i), sim) {
+						minsPane[x] = lists[j].Min()
+					}
+				}
+			}
+			mins[i] = minI
+		}
+	}
+	remapIDs(loc, lists)
+	return lists
+}
+
+// colBlock is the panel width of LocalInto's blocked sweep. 512
+// columns keep a panel's signature slice (64 KB at the paper's
+// 1024-bit fingerprints) and its slice of the list slab (≈240 KB at
+// k=30) L2-resident across the whole sweep — without panels a cluster
+// near the splitting threshold streams its entire gathered slab
+// through the cache once per row, and the solve turns bandwidth-bound
+// (measured ≈25% slower at 1600 members). 128 through 512 measure
+// within noise of each other; what matters is staying well under the
+// cache while keeping SimRow calls long.
+const colBlock = 512
+
+// LocalIntoScalar is the frozen pair-at-a-time formulation of LocalInto:
+// one Sim call and two ungated heap-insert calls per unordered pair,
+// running the insert path exactly as it stood before the blocked sweep
+// landed (scalarInsert below — threshold check, duplicate scan on
+// acceptance, swap-based sifts). It is kept as the reference
+// implementation the blocked sweep is proven bit-identical to
+// (TestLocalIntoBlockedMatchesScalar) and as the baseline of the
+// BenchmarkLocalSolve* regression family, so later knng.List
+// improvements do not silently inflate the baseline; production callers
+// use LocalInto.
+func LocalIntoScalar(loc *similarity.Local, k int, s *Scratch) []knng.List {
 	m := loc.Len()
 	s.lists = knng.ReuseLists(s.lists, m, k)
 	lists := s.lists
-	// The inner loop runs on local indices; ids are remapped once at the
-	// end (k entries per member) instead of once per pair.
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			sim := loc.Sim(i, j)
-			lists[i].Insert(int32(j), sim)
-			lists[j].Insert(int32(i), sim)
+			scalarInsert(&lists[i], int32(j), sim)
+			scalarInsert(&lists[j], int32(i), sim)
 		}
 	}
+	remapIDs(loc, lists)
+	return lists
+}
+
+// scalarInsert is a verbatim port of knng.List.Insert (and its
+// swap-based sifts) as of the pair-at-a-time solver, operating on the
+// exported List fields. Decisions and resulting heap layout are
+// identical to the live Insert, so LocalIntoScalar's output stays a
+// valid equivalence reference; only its cost profile is frozen.
+func scalarInsert(l *knng.List, v int32, sim float64) bool {
+	if sim != sim || sim < 0 {
+		return false
+	}
+	if len(l.H) >= l.K {
+		if sim <= l.H[0].Sim || l.Contains(v) {
+			return false
+		}
+		l.H[0] = knng.Neighbor{ID: v, Sim: sim, New: true}
+		i, n := 0, len(l.H)
+		for {
+			least := i
+			if c := 2*i + 1; c < n && l.H[c].Sim < l.H[least].Sim {
+				least = c
+			}
+			if c := 2*i + 2; c < n && l.H[c].Sim < l.H[least].Sim {
+				least = c
+			}
+			if least == i {
+				return true
+			}
+			l.H[i], l.H[least] = l.H[least], l.H[i]
+			i = least
+		}
+	}
+	if l.Contains(v) {
+		return false
+	}
+	l.H = append(l.H, knng.Neighbor{ID: v, Sim: sim, New: true})
+	for i := len(l.H) - 1; i > 0; {
+		p := (i - 1) / 2
+		if l.H[p].Sim <= l.H[i].Sim {
+			break
+		}
+		l.H[p], l.H[i] = l.H[i], l.H[p]
+		i = p
+	}
+	return true
+}
+
+// remapIDs rewrites the lists' local member indices to global user ids.
+func remapIDs(loc *similarity.Local, lists []knng.List) {
 	for i := range lists {
 		h := lists[i].H
 		for x := range h {
 			h[x].ID = loc.ID(int(h[x].ID))
 		}
 	}
-	return lists
 }
 
 // Local computes the exact KNN lists of the users in ids, restricted to

@@ -1,8 +1,12 @@
 package bruteforce
 
 import (
+	"math/rand"
 	"testing"
 
+	"c2knn/internal/dataset"
+	"c2knn/internal/goldfinger"
+	"c2knn/internal/sets"
 	"c2knn/internal/similarity"
 )
 
@@ -164,6 +168,101 @@ func TestLocalIntoScratchReuse(t *testing.T) {
 				if got[i].H[j] != want[i].H[j] {
 					t.Fatalf("trial %d list %d slot %d: %+v vs %+v", trial, i, j, got[i].H[j], want[i].H[j])
 				}
+			}
+		}
+	}
+}
+
+// TestLocalIntoBlockedMatchesScalar: the blocked triangular sweep must
+// produce lists bit-identical to the frozen pair-at-a-time reference on
+// fixed seeds — same heap layout, same ids, same sims, same New flags —
+// on real GoldFinger kernels (whose row path exercises BitSimRow) and
+// on the generic fallback.
+func TestLocalIntoBlockedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	profiles := make([][]int32, 700)
+	for i := range profiles {
+		p := make([]int32, rng.Intn(50))
+		for j := range p {
+			p[j] = int32(rng.Intn(2500))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("blocked", profiles, 2500)
+	gf := goldfinger.MustNew(d, 1024, 7)
+	gfOdd := goldfinger.MustNew(d, 320, 7) // odd word count: generic bit loop
+
+	providers := []similarity.Provider{gf, gfOdd, similarity.NewJaccard(d), similarity.Func(pairSim)}
+	var loc similarity.Local
+	var sBlocked, sScalar Scratch
+	for pi, p := range providers {
+		for trial := 0; trial < 7; trial++ {
+			m := 2 + rng.Intn(120)
+			if trial == 6 {
+				// Larger than colBlock: the sweep's panel boundaries —
+				// including a partial trailing panel — must not disturb
+				// per-list candidate order.
+				m = 600
+			}
+			perm := rng.Perm(len(profiles))
+			ids := make([]int32, m)
+			for i := range ids {
+				ids[i] = int32(perm[i])
+			}
+			k := 1 + rng.Intn(31)
+			similarity.GatherInto(p, ids, &loc)
+			want := LocalIntoScalar(&loc, k, &sScalar)
+			similarity.GatherInto(p, ids, &loc)
+			got := LocalInto(&loc, k, &sBlocked)
+			if len(got) != len(want) {
+				t.Fatalf("provider %d trial %d: %d lists vs %d", pi, trial, len(got), len(want))
+			}
+			for i := range got {
+				if len(got[i].H) != len(want[i].H) {
+					t.Fatalf("provider %d trial %d list %d: %d neighbors vs %d",
+						pi, trial, i, len(got[i].H), len(want[i].H))
+				}
+				for j := range got[i].H {
+					if got[i].H[j] != want[i].H[j] {
+						t.Fatalf("provider %d trial %d list %d slot %d: %+v vs %+v",
+							pi, trial, i, j, got[i].H[j], want[i].H[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBuildRowProviderMatchesFallback: Build through the RowProvider
+// fast path (GoldFinger's global slab) must equal Build through plain
+// per-pair dispatch of the same metric.
+func TestBuildRowProviderMatchesFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	profiles := make([][]int32, 150)
+	for i := range profiles {
+		p := make([]int32, 1+rng.Intn(40))
+		for j := range p {
+			p[j] = int32(rng.Intn(1500))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("rowbuild", profiles, 1500)
+	gf := goldfinger.MustNew(d, 1024, 11)
+	if _, ok := similarity.Provider(gf).(similarity.RowProvider); !ok {
+		t.Fatal("goldfinger.Set must implement RowProvider")
+	}
+	// similarity.Func hides the row path, forcing the scalar fallback.
+	fallback := similarity.Func(gf.Sim)
+	gRow := Build(len(profiles), 10, gf, 1)
+	gScalar := Build(len(profiles), 10, fallback, 1)
+	for u := int32(0); u < int32(len(profiles)); u++ {
+		a, b := gRow.Neighbors(u), gScalar.Neighbors(u)
+		if len(a) != len(b) {
+			t.Fatalf("user %d: %d vs %d neighbors", u, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("user %d rank %d: %+v vs %+v", u, i, a[i], b[i])
 			}
 		}
 	}

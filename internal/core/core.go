@@ -339,7 +339,9 @@ func Build(d *dataset.Dataset, p similarity.Provider, o Options) (*knng.Graph, S
 }
 
 // workerState is one worker's reusable state: the gathered similarity
-// kernel, both local solvers' scratch buffers, and private counters.
+// kernel, both local solvers' scratch buffers (each carrying the scored
+// similarity row of its blocked sweep alongside the neighbor lists),
+// and private counters.
 type workerState struct {
 	loc similarity.Local
 	bf  bruteforce.Scratch

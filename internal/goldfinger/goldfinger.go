@@ -113,7 +113,21 @@ func (s *Set) Gather(ids []int32, dst *similarity.Local) {
 	}
 }
 
-var _ similarity.Localizer = (*Set)(nil)
+// SimRow implements similarity.RowProvider: it scores user u against
+// the contiguous user-id run [v0, v1) in one call, writing Sim(u, v0+x)
+// into dst[x]. The flattened signature slab is already member-major, so
+// rows are served with no gather at all — this is the fast path of the
+// exact brute-force baseline, whose triangular sweep scores whole rows
+// of the population. Estimates are bit-identical to Sim: the per-pair
+// OR-popcount union equals ones[u] + ones[v] − inter exactly.
+func (s *Set) SimRow(u, v0, v1 int32, dst []float64) {
+	similarity.BitSimRow(dst[:v1-v0], s.Signature(u), int(s.ones[u]), s.sigs, s.ones, int(v0), s.words)
+}
+
+var (
+	_ similarity.Localizer   = (*Set)(nil)
+	_ similarity.RowProvider = (*Set)(nil)
+)
 
 // Ones returns the popcount of user u's fingerprint; useful to gauge
 // saturation (estimates degrade as fingerprints fill up).

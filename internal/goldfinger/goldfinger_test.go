@@ -223,3 +223,82 @@ func TestGatherEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestSimRowMatchesSim: the global RowProvider path must agree exactly
+// with per-pair Sim — the ones-based union equals the OR-popcount union
+// as integers — across widths hitting the w==16 specialization, the
+// 4-wide unroll, and odd word tails.
+func TestSimRowMatchesSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	profiles := make([][]int32, 90)
+	for i := range profiles {
+		p := make([]int32, rng.Intn(50))
+		for j := range p {
+			p[j] = int32(rng.Intn(3000))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	profiles[7] = nil // empty profile: empty fingerprint, union can be 0
+	d := dataset.New("rows", profiles, 3000)
+	n := int32(d.NumUsers())
+
+	for _, bitsN := range []int{64, 192, 320, 1024, 1088} {
+		s := MustNew(d, bitsN, 5)
+		var rp similarity.RowProvider = s
+		dst := make([]float64, n)
+		for u := int32(0); u < n; u += 3 {
+			for bs := int32(1); bs <= 17; bs++ {
+				for v0 := int32(0); v0+bs <= n; v0 += 23 {
+					rp.SimRow(u, v0, v0+bs, dst)
+					for x := int32(0); x < bs; x++ {
+						if got, want := dst[x], s.Sim(u, v0+x); got != want {
+							t.Fatalf("bits=%d SimRow(%d, %d, %d)[%d] = %v, want %v",
+								bitsN, u, v0, v0+bs, x, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLocalSimRowMatchesSim covers the gathered kernel's row path on
+// real fingerprints (the synthetic-slab tests live in the similarity
+// package, which cannot import goldfinger).
+func TestLocalSimRowMatchesSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	profiles := make([][]int32, 70)
+	for i := range profiles {
+		p := make([]int32, rng.Intn(40))
+		for j := range p {
+			p[j] = int32(rng.Intn(2000))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("rowsLocal", profiles, 2000)
+
+	for _, bitsN := range []int{64, 320, 1024} {
+		s := MustNew(d, bitsN, 3)
+		perm := rng.Perm(len(profiles))
+		ids := make([]int32, 33)
+		for i := range ids {
+			ids[i] = int32(perm[i])
+		}
+		var loc similarity.Local
+		s.Gather(ids, &loc)
+		dst := make([]float64, len(ids))
+		for i := range ids {
+			for bs := 1; bs <= 17; bs++ {
+				for j0 := 0; j0+bs <= len(ids); j0 += bs {
+					loc.SimRow(i, j0, j0+bs, dst)
+					for x := 0; x < bs; x++ {
+						if got, want := dst[x], loc.Sim(i, j0+x); got != want {
+							t.Fatalf("bits=%d SimRow(%d, %d, %d)[%d] = %v, want %v",
+								bitsN, i, j0, j0+bs, x, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -211,14 +211,16 @@ func refine(g *knng.Graph, p similarity.Provider, o Options) Result {
 
 // Scratch holds the reusable per-worker state of LocalInto: the local
 // neighbor lists, the per-iteration snapshots, the epoch-stamped dense
-// candidate set, and the RNG. The zero value is ready to use; reusing
-// one Scratch across clusters makes steady-state solving
-// allocation-free.
+// candidate set, the scored candidate row of the batched refinement,
+// and the RNG. The zero value is ready to use; reusing one Scratch
+// across clusters makes steady-state solving allocation-free.
 type Scratch struct {
 	lists   []knng.List
 	allSnap [][]int32
 	newSnap [][]int32
 	set     denseSet
+	row     []float64
+	mins    []float64
 	rng     *rand.Rand
 }
 
@@ -242,6 +244,19 @@ func reuseRows(rows [][]int32, n int) [][]int32 {
 // sequential (o.Workers is ignored) — parallelism comes from processing
 // many clusters at once.
 func LocalInto(loc *similarity.Local, k int, o Options, s *Scratch) []knng.List {
+	return localInto(loc, k, o, s, refineLocal)
+}
+
+// LocalIntoScalar is LocalInto on the frozen pair-at-a-time refinement
+// loop (refineLocalScalar) instead of the batched one. It exists for
+// the blocked-vs-scalar equivalence tests and the BenchmarkLocalSolve*
+// regression family; production callers use LocalInto.
+func LocalIntoScalar(loc *similarity.Local, k int, o Options, s *Scratch) []knng.List {
+	return localInto(loc, k, o, s, refineLocalScalar)
+}
+
+func localInto(loc *similarity.Local, k int, o Options, s *Scratch,
+	refineFn func(*similarity.Local, []knng.List, Options, *Scratch)) []knng.List {
 	o.K = k
 	o.setDefaults()
 	m := loc.Len()
@@ -257,7 +272,7 @@ func LocalInto(loc *similarity.Local, k int, o Options, s *Scratch) []knng.List 
 	// sequence, and its reject bound keeps a kernel yielding degenerate
 	// sims from hanging the worker.
 	knng.FillRandom(lists, s.rng, loc.Sim)
-	refineLocal(loc, lists, o, s)
+	refineFn(loc, lists, o, s)
 	for i := range lists {
 		h := lists[i].H
 		for x := range h {
@@ -269,8 +284,77 @@ func LocalInto(loc *similarity.Local, k int, o Options, s *Scratch) []knng.List 
 
 // refineLocal is the sequential, allocation-free counterpart of refine
 // for cluster-local graphs: no stripe locks, no atomics, candidates
-// deduplicated through the scratch's epoch-stamped dense set.
+// deduplicated through the scratch's epoch-stamped dense set. Each
+// user's candidate batch is scored in one SimBatch call into the
+// scratch row, then offered to both endpoints' lists behind a dense
+// threshold gate: mins[v] mirrors lists[v].Min() across the whole
+// refinement, so a below-threshold candidate costs one compare of two
+// scratch reads instead of an Insert call chasing into the target
+// list's heap. The gate is conservative-exact (mins is -1 while a list
+// has room; Insert still arbitrates duplicates and degenerate sims), so
+// candidate order, tie-breaking, and the per-iteration update count
+// match the pair-at-a-time reference (refineLocalScalar) exactly.
 func refineLocal(loc *similarity.Local, lists []knng.List, o Options, s *Scratch) {
+	m := len(lists)
+	if m < 2 {
+		return
+	}
+	threshold := int64(o.Delta * float64(o.K) * float64(m))
+	s.allSnap = reuseRows(s.allSnap, m)
+	s.newSnap = reuseRows(s.newSnap, m)
+	s.set.resize(m)
+	s.mins = similarity.GrowRow(s.mins, m)
+	mins := s.mins
+	for u := range lists {
+		mins[u] = lists[u].Min() // account for the random init's inserts
+	}
+	for iter := 0; iter < o.MaxIter; iter++ {
+		for u := 0; u < m; u++ {
+			s.allSnap[u] = lists[u].IDs(s.allSnap[u][:0])
+			s.newSnap[u] = lists[u].ResetNew(s.newSnap[u][:0])
+		}
+		updates := int64(0)
+		for u := 0; u < m; u++ {
+			s.set.begin()
+			s.set.stamp(int32(u))
+			collectCandidates(&s.set, s.allSnap, s.newSnap, u)
+			cand := s.set.cand
+			if len(cand) == 0 {
+				continue
+			}
+			s.row = similarity.GrowRow(s.row, len(cand))
+			row := s.row[:len(cand)]
+			loc.SimBatch(u, cand, row)
+			lu := &lists[u]
+			minU := mins[u]
+			for x, w2 := range cand {
+				sim := row[x]
+				if sim > minU {
+					if lu.Insert(w2, sim) {
+						updates++
+						minU = lu.Min()
+					}
+				}
+				if sim > mins[w2] {
+					if lists[w2].Insert(int32(u), sim) {
+						updates++
+						mins[w2] = lists[w2].Min()
+					}
+				}
+			}
+			mins[u] = minU
+		}
+		if updates < threshold {
+			return
+		}
+	}
+}
+
+// refineLocalScalar is the frozen pair-at-a-time refinement loop: one
+// Sim call and two ungated Insert calls per candidate. Kept as the
+// reference the batched refineLocal is proven bit-identical to and as
+// the baseline of the BenchmarkLocalSolveHyrec* regression pair.
+func refineLocalScalar(loc *similarity.Local, lists []knng.List, o Options, s *Scratch) {
 	m := len(lists)
 	if m < 2 {
 		return

@@ -2,10 +2,14 @@ package hyrec
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"c2knn/internal/bruteforce"
+	"c2knn/internal/dataset"
+	"c2knn/internal/goldfinger"
 	"c2knn/internal/knng"
+	"c2knn/internal/sets"
 	"c2knn/internal/similarity"
 )
 
@@ -250,6 +254,60 @@ func TestLocalIntoDegenerateKernelTerminates(t *testing.T) {
 	for i := range lists {
 		if lists[i].Len() != 0 {
 			t.Fatalf("local user %d retained %d NaN edges", i, lists[i].Len())
+		}
+	}
+}
+
+// TestLocalIntoBlockedMatchesScalar: the batched candidate scoring with
+// threshold-gated inserts must leave lists bit-identical to the frozen
+// pair-at-a-time refinement on fixed seeds — the random init consumes
+// the same draw sequence and every gated-out candidate is one Insert
+// would have rejected, so iteration counts and update totals coincide
+// too.
+func TestLocalIntoBlockedMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	profiles := make([][]int32, 400)
+	for i := range profiles {
+		p := make([]int32, rng.Intn(45))
+		for j := range p {
+			p[j] = int32(rng.Intn(2200))
+		}
+		profiles[i] = sets.Normalize(p)
+	}
+	d := dataset.New("hyblocked", profiles, 2200)
+	providers := []similarity.Provider{
+		goldfinger.MustNew(d, 1024, 13),
+		goldfinger.MustNew(d, 192, 13), // 3 words: unroll tail
+		similarity.NewJaccard(d),
+		ringSim(len(profiles)),
+	}
+	var loc similarity.Local
+	var sBlocked, sScalar Scratch
+	for pi, p := range providers {
+		for trial := 0; trial < 4; trial++ {
+			m := 40 + rng.Intn(260)
+			perm := rng.Perm(len(profiles))
+			ids := make([]int32, m)
+			for i := range ids {
+				ids[i] = int32(perm[i])
+			}
+			o := Options{Delta: 0.001, MaxIter: 4, Seed: int64(1000*pi + trial)}
+			similarity.GatherInto(p, ids, &loc)
+			want := LocalIntoScalar(&loc, 20, o, &sScalar)
+			similarity.GatherInto(p, ids, &loc)
+			got := LocalInto(&loc, 20, o, &sBlocked)
+			for i := range got {
+				if len(got[i].H) != len(want[i].H) {
+					t.Fatalf("provider %d trial %d list %d: %d neighbors vs %d",
+						pi, trial, i, len(got[i].H), len(want[i].H))
+				}
+				for j := range got[i].H {
+					if got[i].H[j] != want[i].H[j] {
+						t.Fatalf("provider %d trial %d list %d slot %d: %+v vs %+v",
+							pi, trial, i, j, got[i].H[j], want[i].H[j])
+					}
+				}
+			}
 		}
 	}
 }

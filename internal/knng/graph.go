@@ -178,14 +178,41 @@ func (s *Shared) Insert(u, v int32, sim float64) bool {
 	return ok
 }
 
+// InsertRun offers the directed edges (u → v0+x, sims[x]) for every x
+// under a single acquisition of u's stripe lock — the row-batched
+// insert of the exact brute-force baseline, which scores user u against
+// a contiguous id run and previously paid one lock round-trip per pair.
+// Insertion order within the run matches the equivalent per-pair loop,
+// so tie-breaking among equal similarities is unchanged.
+func (s *Shared) InsertRun(u, v0 int32, sims []float64) {
+	m := &s.mu[int(u)&(len(s.mu)-1)]
+	m.Lock()
+	l := &s.g.Lists[u]
+	for x, sim := range sims {
+		// WouldAccept pre-gate: skip the insert call outright for sims
+		// that cannot change the list (Insert would reject them with
+		// the same comparison, but only after a call and a self-check).
+		if l.WouldAccept(sim) {
+			s.g.Insert(u, v0+int32(x), sim)
+		}
+	}
+	m.Unlock()
+}
+
 // MergeUser folds a batch of candidate neighbors into u's list under one
 // lock acquisition, reusing the similarities already computed by the
 // partial graphs (the paper is "careful to reuse similarity values").
 func (s *Shared) MergeUser(u int32, neigh []Neighbor) {
 	m := &s.mu[int(u)&(len(s.mu)-1)]
 	m.Lock()
+	l := &s.g.Lists[u]
 	for _, nb := range neigh {
-		s.g.Insert(u, nb.ID, nb.Sim)
+		// WouldAccept pre-gate, as in InsertRun: once a user's global
+		// list has warmed past a cluster's partial sims, the whole
+		// batch merges with one comparison per neighbor.
+		if l.WouldAccept(nb.Sim) {
+			s.g.Insert(u, nb.ID, nb.Sim)
+		}
 	}
 	m.Unlock()
 }

@@ -40,6 +40,31 @@ func (l *List) Worst() float64 {
 	return l.H[0].Sim
 }
 
+// Min returns the similarity a candidate must strictly beat to enter
+// the list: the heap minimum once the list is full, -1 while it still
+// has room. It is Worst under the name the threshold-gating solvers
+// use.
+func (l *List) Min() float64 { return l.Worst() }
+
+// WouldAccept reports whether Insert(_, sim) could possibly change the
+// list: false exactly when Insert is guaranteed to reject sim without
+// looking at the candidate id (degenerate sim, or a full list whose
+// minimum sim does not strictly beat). It is the O(1) gate of the
+// blocked solvers' insertion loops — two inlined comparisons instead of
+// an Insert call for the overwhelming majority of candidates once lists
+// warm up. WouldAccept true does not promise acceptance: Insert still
+// rejects duplicates, so gating with WouldAccept before Insert leaves
+// the list's state evolution bit-identical to calling Insert on every
+// candidate.
+func (l *List) WouldAccept(sim float64) bool {
+	if len(l.H) >= l.K {
+		// A NaN fails this comparison too, mirroring Insert's rejection.
+		return sim > l.H[0].Sim
+	}
+	// Not yet full: anything non-degenerate enters (NaN fails >= as well).
+	return sim >= 0
+}
+
 // Contains reports whether v is already a neighbor. Linear scan: k is
 // small (30 in the paper) and the slice is contiguous.
 func (l *List) Contains(v int32) bool {
@@ -84,33 +109,75 @@ func (l *List) Insert(v int32, sim float64) bool {
 	return true
 }
 
+// InsertDistinct is Insert for callers that can prove v is not already
+// in the list, skipping the O(k) duplicate scan on acceptance. The
+// blocked brute-force sweep qualifies — its triangular iteration offers
+// every candidate id to each list exactly once — and the scan is where
+// a fifth of its solve time went. Apart from the missing duplicate
+// check the semantics (degenerate-sim rejection, strict threshold,
+// resulting heap layout) are exactly Insert's.
+func (l *List) InsertDistinct(v int32, sim float64) bool {
+	if sim != sim || sim < 0 {
+		return false
+	}
+	if len(l.H) >= l.K {
+		if sim <= l.H[0].Sim {
+			return false
+		}
+		l.H[0] = Neighbor{ID: v, Sim: sim, New: true}
+		l.siftDown(0)
+		return true
+	}
+	l.H = append(l.H, Neighbor{ID: v, Sim: sim, New: true})
+	l.siftUp(len(l.H) - 1)
+	return true
+}
+
+// siftUp and siftDown restore the heap invariant hole-push style: the
+// displaced element rides in a register while blockers shift one slot,
+// one write per level instead of a full 16-byte swap. Level-by-level
+// decisions (including the prefer-left tie rule on equal children) are
+// those of the classic swap formulation, so the resulting array layout
+// is identical.
 func (l *List) siftUp(i int) {
+	h := l.H
+	item := h[i]
 	for i > 0 {
 		p := (i - 1) / 2
-		if l.H[p].Sim <= l.H[i].Sim {
-			return
+		if h[p].Sim <= item.Sim {
+			break
 		}
-		l.H[p], l.H[i] = l.H[i], l.H[p]
+		h[i] = h[p]
 		i = p
 	}
+	h[i] = item
 }
 
 func (l *List) siftDown(i int) {
-	n := len(l.H)
+	h := l.H
+	n := len(h)
+	item := h[i]
 	for {
-		least := i
-		if c := 2*i + 1; c < n && l.H[c].Sim < l.H[least].Sim {
-			least = c
+		c := 2*i + 1
+		if c >= n {
+			break
 		}
-		if c := 2*i + 2; c < n && l.H[c].Sim < l.H[least].Sim {
-			least = c
+		// Child selection reads both siblings and picks via conditional
+		// move — the left/right choice is data-dependent and effectively
+		// random, so a branch here would mispredict half the time.
+		if c2 := c + 1; c2 < n {
+			cs, c2s := h[c].Sim, h[c2].Sim
+			if c2s < cs {
+				c = c2
+			}
 		}
-		if least == i {
-			return
+		if h[c].Sim >= item.Sim {
+			break
 		}
-		l.H[i], l.H[least] = l.H[least], l.H[i]
-		i = least
+		h[i] = h[c]
+		i = c
 	}
+	h[i] = item
 }
 
 // checkHeap verifies the min-heap invariant; used by tests.
@@ -160,6 +227,31 @@ func ReuseLists(lists []List, n, k int) []List {
 		lists[i].H = lists[i].H[:0]
 	}
 	return lists
+}
+
+// ReuseListsIn is ReuseLists with every heap carved out of one
+// contiguous Neighbor slab (list i owns slab[i·k : (i+1)·k], handed out
+// empty with capacity k). Solvers that stream inserts across many lists
+// — the blocked brute-force sweep touches lists j, j+1, … in order —
+// get sequential heap storage instead of n scattered allocations, which
+// is where a large share of their sift time went. The possibly regrown
+// slab is returned alongside the lists for the caller's scratch.
+func ReuseListsIn(lists []List, slab []Neighbor, n, k int) ([]List, []Neighbor) {
+	if cap(lists) < n {
+		lists = make([]List, n)
+	} else {
+		lists = lists[:n]
+	}
+	if need := n * k; cap(slab) < need {
+		slab = make([]Neighbor, need)
+	} else {
+		slab = slab[:need]
+	}
+	for i := range lists {
+		lists[i].K = k
+		lists[i].H = slab[i*k : i*k : (i+1)*k]
+	}
+	return lists, slab
 }
 
 // SumSim returns the sum of retained similarities.

@@ -1,0 +1,125 @@
+package knng
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFullListNeverAcceptsAtOrBelowMin is the threshold-gate regression
+// contract: once a list is full, no candidate with sim ≤ Min() may
+// enter it — neither through WouldAccept nor through Insert itself —
+// and Min never decreases.
+func TestFullListNeverAcceptsAtOrBelowMin(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	l := List{K: 8}
+	if l.Min() != -1 {
+		t.Fatalf("Min of empty list = %v, want -1", l.Min())
+	}
+	for v := int32(0); l.Len() < l.K; v++ {
+		l.Insert(v, rng.Float64())
+	}
+	next := int32(1000)
+	for trial := 0; trial < 2000; trial++ {
+		min := l.Min()
+		if min != l.Worst() {
+			t.Fatalf("Min %v diverged from Worst %v", min, l.Worst())
+		}
+		var sim float64
+		switch trial % 4 {
+		case 0:
+			sim = min // exactly the minimum: strictness demands rejection
+		case 1:
+			sim = min * rng.Float64()
+		case 2:
+			sim = math.Nextafter(min, 0)
+		default:
+			sim = min + rng.Float64() // above: may enter
+		}
+		atOrBelow := sim <= min
+		if atOrBelow && l.WouldAccept(sim) {
+			t.Fatalf("WouldAccept(%v) = true with Min %v", sim, min)
+		}
+		changed := l.Insert(next, sim)
+		next++
+		if atOrBelow && changed {
+			t.Fatalf("full list accepted sim %v ≤ min %v", sim, min)
+		}
+		if l.Min() < min {
+			t.Fatalf("Min decreased from %v to %v", min, l.Min())
+		}
+		if !l.checkHeap() {
+			t.Fatal("heap invariant broken")
+		}
+	}
+}
+
+// TestGatedInsertMatchesInsertEverything proves the gate is lossless:
+// feeding a candidate stream through "WouldAccept, then Insert" must
+// leave a list in exactly the state of the historical insert-everything
+// path — including duplicates, NaNs, negatives, and exact ties.
+func TestGatedInsertMatchesInsertEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, k := range []int{1, 3, 30} {
+		ungated := List{K: k}
+		gated := List{K: k}
+		for step := 0; step < 5000; step++ {
+			v := int32(rng.Intn(60)) // small id space: duplicates are common
+			var sim float64
+			switch rng.Intn(10) {
+			case 0:
+				sim = math.NaN()
+			case 1:
+				sim = -rng.Float64()
+			case 2:
+				sim = 0.25 // a recurring value: exact ties are common
+			default:
+				sim = rng.Float64()
+			}
+			okU := ungated.Insert(v, sim)
+			okG := false
+			if gated.WouldAccept(sim) {
+				okG = gated.Insert(v, sim)
+			} else if okU {
+				t.Fatalf("k=%d step %d: gate rejected (%d, %v) the ungated list accepted", k, step, v, sim)
+			}
+			if okU != okG {
+				t.Fatalf("k=%d step %d: insert results diverged (%v vs %v) for (%d, %v)",
+					k, step, okU, okG, v, sim)
+			}
+			if len(ungated.H) != len(gated.H) {
+				t.Fatalf("k=%d step %d: lengths diverged", k, step)
+			}
+			for i := range ungated.H {
+				if ungated.H[i] != gated.H[i] {
+					t.Fatalf("k=%d step %d slot %d: %+v vs %+v",
+						k, step, i, ungated.H[i], gated.H[i])
+				}
+			}
+		}
+	}
+}
+
+// TestWouldAcceptDegenerate pins the gate's handling of the values
+// Insert rejects outright.
+func TestWouldAcceptDegenerate(t *testing.T) {
+	empty := List{K: 2}
+	for _, sim := range []float64{math.NaN(), -0.1, math.Inf(-1)} {
+		if empty.WouldAccept(sim) {
+			t.Errorf("empty list WouldAccept(%v) = true", sim)
+		}
+	}
+	if !empty.WouldAccept(0) || !empty.WouldAccept(0.7) {
+		t.Error("empty list must accept well-formed sims")
+	}
+	full := List{K: 1}
+	full.Insert(1, 0.5)
+	for _, sim := range []float64{math.NaN(), -0.1, 0.5} {
+		if full.WouldAccept(sim) {
+			t.Errorf("full list WouldAccept(%v) = true with min 0.5", sim)
+		}
+	}
+	if !full.WouldAccept(0.6) {
+		t.Error("full list must accept a sim strictly above its min")
+	}
+}

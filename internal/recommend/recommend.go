@@ -146,6 +146,12 @@ func NewScorer(numItems int32) *Scorer {
 // reading the CSR adjacency and accumulating into the dense scratch —
 // no per-query map, no per-query allocation when dst is recycled. The
 // item ids are appended to dst; the extended slice is returned.
+//
+// Neighbor profiles are scored as whole rows: each row is merged
+// against u's own (both sorted, duplicate-free) in one linear pass, the
+// row-batched counterpart of the per-item binary search the reference
+// path runs. Items are visited in the same order either way, so the
+// accumulated scores — and the final ranking — are bit-identical.
 func (s *Scorer) Recommend(train *dataset.Dataset, g *knng.Frozen, u int32, n int, dst []int32) []int32 {
 	if int(train.NumItems) > len(s.scores) {
 		s.scores = make([]float64, train.NumItems)
@@ -157,17 +163,7 @@ func (s *Scorer) Recommend(train *dataset.Dataset, g *knng.Frozen, u int32, n in
 		if sim <= 0 {
 			continue
 		}
-		for _, it := range train.Profiles[v] {
-			if sets.Contains(own, it) {
-				continue
-			}
-			// Accumulated similarities are strictly positive, so a zero
-			// score means "first touch" — no separate seen-set needed.
-			if s.scores[it] == 0 {
-				s.touched = append(s.touched, it)
-			}
-			s.scores[it] += sim
-		}
+		s.accumulateRow(own, train.Profiles[v], sim)
 	}
 	s.ranked = s.ranked[:0]
 	for _, it := range s.touched {
@@ -176,6 +172,28 @@ func (s *Scorer) Recommend(train *dataset.Dataset, g *knng.Frozen, u int32, n in
 	}
 	s.touched = s.touched[:0]
 	return rankScored(s.ranked, n, dst)
+}
+
+// accumulateRow adds sim to the dense score of every item of row not
+// present in own. Both slices are sorted and duplicate-free, so the
+// exclusion runs as a single merge — own's cursor only ever advances —
+// instead of one binary search per item.
+func (s *Scorer) accumulateRow(own, row []int32, sim float64) {
+	oi := 0
+	for _, it := range row {
+		for oi < len(own) && own[oi] < it {
+			oi++
+		}
+		if oi < len(own) && own[oi] == it {
+			continue
+		}
+		// Accumulated similarities are strictly positive, so a zero
+		// score means "first touch" — no separate seen-set needed.
+		if s.scores[it] == 0 {
+			s.touched = append(s.touched, it)
+		}
+		s.scores[it] += sim
+	}
 }
 
 // RecommendBatch recommends n items to every user of users, reusing

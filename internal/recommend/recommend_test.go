@@ -269,3 +269,43 @@ func TestEvalRecallDeterministicAcrossWorkers(t *testing.T) {
 		t.Errorf("recall depends on worker count: %v vs %v", r1, r4)
 	}
 }
+
+// TestScorerRowMergeExclusion stresses the merge-based own-item
+// exclusion of the row-batched scoring loop on adversarial overlap
+// shapes: own empty, own a superset of the row, overlap only at the
+// row's ends, and interleaved runs — each compared against the
+// reference map path item by item.
+func TestScorerRowMergeExclusion(t *testing.T) {
+	profiles := [][]int32{
+		0: {},                 // empty own profile: nothing excluded
+		1: {0, 1, 2, 3, 4, 5}, // superset of neighbor rows
+		2: {0, 9},             // overlap at both ends only
+		3: {2, 4, 6},          // interleaved
+		4: {1, 2, 3},          // the recommending neighbor
+		5: {0, 3, 5, 7, 9},    // another neighbor, wider row
+		6: {100, 101},         // disjoint high items
+		7: {5},
+	}
+	d := dataset.New("merge", profiles, 128)
+	g := knng.New(len(profiles), 3)
+	for u := 0; u < 4; u++ {
+		g.Lists[u].Insert(4, 0.9)
+		g.Lists[u].Insert(5, 0.8)
+		g.Lists[u].Insert(6, 0.7)
+	}
+	f := g.Freeze()
+	sc := NewScorer(d.NumItems)
+	var rec []int32
+	for u := int32(0); u < 4; u++ {
+		want := Recommend(d, g, u, 10)
+		rec = sc.Recommend(d, f, u, 10, rec[:0])
+		if len(rec) != len(want) {
+			t.Fatalf("user %d: %d items vs %d (%v vs %v)", u, len(rec), len(want), rec, want)
+		}
+		for i := range want {
+			if rec[i] != want[i] {
+				t.Fatalf("user %d rank %d: %d vs %d", u, i, rec[i], want[i])
+			}
+		}
+	}
+}

@@ -200,6 +200,225 @@ func (l *Local) Sim(i, j int) float64 {
 	}
 }
 
+// SimRow scores local member i against the contiguous block of local
+// members [j0, j1), writing Sim(i, j0+x) into dst[x]. dst must hold at
+// least j1-j0 elements. Each dst entry is bit-identical to the
+// corresponding Sim call; what SimRow buys is the batch shape: the
+// kernel switch, the counter bump, and member i's data are amortized
+// over the whole block, the inner loop walks the gathered slab
+// contiguously, and — because consecutive pairs are independent — the
+// per-pair float divides pipeline instead of serializing against the
+// caller's consumption of each result. This is the hot loop of the
+// blocked cluster solvers (bruteforce.LocalInto's triangular sweep,
+// hyrec's candidate batches).
+func (l *Local) SimRow(i, j0, j1 int, dst []float64) {
+	dst = dst[:j1-j0]
+	if len(dst) == 0 {
+		return
+	}
+	if l.counter != nil {
+		l.counter.Add(int64(len(dst)))
+	}
+	switch l.kind {
+	case kindBits:
+		w := l.words
+		BitSimRow(dst, l.sigs[i*w:(i+1)*w], int(l.ones[i]), l.sigs, l.ones, j0, w)
+	case kindJaccard:
+		a := l.profs[i]
+		for x := range dst {
+			b := l.profs[j0+x]
+			inter := sets.IntersectCount(a, b)
+			union := len(a) + len(b) - inter
+			if union == 0 {
+				dst[x] = 0
+			} else {
+				dst[x] = float64(inter) / float64(union)
+			}
+		}
+	case kindCosine:
+		a := l.profs[i]
+		for x := range dst {
+			b := l.profs[j0+x]
+			if len(a) == 0 || len(b) == 0 {
+				dst[x] = 0
+				continue
+			}
+			inter := sets.IntersectCount(a, b)
+			dst[x] = float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+		}
+	default:
+		gi := l.ids[i]
+		for x := range dst {
+			dst[x] = l.p.Sim(gi, l.ids[j0+x])
+		}
+	}
+}
+
+// GrowRow returns a float64 slice of length n, reusing buf's storage
+// when it is large enough — the scratch-row helper for SimRow/SimBatch
+// callers (the solvers keep one row per worker Scratch, so steady-state
+// scoring allocates nothing). The returned slice's contents are
+// unspecified; kernels overwrite every element they are asked for.
+func GrowRow(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// SimBatch scores local member i against an arbitrary list of local
+// member indices, writing Sim(i, int(js[x])) into dst[x]. dst must hold
+// at least len(js) elements. It is SimRow for non-contiguous blocks —
+// the shape of Hyrec's candidate sets — trading the contiguous slab
+// walk for a gather but keeping the amortized dispatch and pipelined
+// divides. Results are bit-identical to per-pair Sim calls.
+func (l *Local) SimBatch(i int, js []int32, dst []float64) {
+	dst = dst[:len(js)]
+	if len(dst) == 0 {
+		return
+	}
+	if l.counter != nil {
+		l.counter.Add(int64(len(dst)))
+	}
+	switch l.kind {
+	case kindBits:
+		w := l.words
+		bitSimBatch(dst, l.sigs[i*w:(i+1)*w], int(l.ones[i]), l.sigs, l.ones, js, w)
+	case kindJaccard:
+		a := l.profs[i]
+		for x, j := range js {
+			b := l.profs[j]
+			inter := sets.IntersectCount(a, b)
+			union := len(a) + len(b) - inter
+			if union == 0 {
+				dst[x] = 0
+			} else {
+				dst[x] = float64(inter) / float64(union)
+			}
+		}
+	case kindCosine:
+		a := l.profs[i]
+		for x, j := range js {
+			b := l.profs[j]
+			if len(a) == 0 || len(b) == 0 {
+				dst[x] = 0
+				continue
+			}
+			inter := sets.IntersectCount(a, b)
+			dst[x] = float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+		}
+	default:
+		gi := l.ids[i]
+		for x, j := range js {
+			dst[x] = l.p.Sim(gi, l.ids[j])
+		}
+	}
+}
+
+// BitSimRow writes into dst the Jaccard estimates of one signature
+// against the contiguous run of slab members j0, j0+1, … (one per dst
+// element): dst[x] = inter/(aOnes + ones[j0+x] − inter), 0 when the
+// union is empty. a must hold exactly `words` words, slab is the packed
+// member-major signature block, ones the per-member popcounts. Both the
+// gathered Local bits kernel and goldfinger.Set's global RowProvider
+// path run on this loop; estimates are bit-identical to the per-pair
+// OR-popcount formulation because |A|+|B|−|A∩B| = |A∪B| exactly.
+func BitSimRow(dst []float64, a []uint64, aOnes int, slab []uint64, ones []int32, j0, words int) {
+	po := ones[j0 : j0+len(dst)]
+	if words == 16 {
+		// The paper's default 1024-bit fingerprints: fixed-size array
+		// views eliminate bounds checks, a marching offset replaces the
+		// per-element multiply, and the AND-popcount is unrolled inline
+		// (an out-of-line helper would cost a call per column — the
+		// 32-intrinsic body is far past the inliner's budget).
+		ap := (*[16]uint64)(a)
+		base := j0 * 16
+		for x := range dst {
+			bp := (*[16]uint64)(slab[base:])
+			base += 16
+			inter := bits.OnesCount64(ap[0]&bp[0]) + bits.OnesCount64(ap[1]&bp[1]) +
+				bits.OnesCount64(ap[2]&bp[2]) + bits.OnesCount64(ap[3]&bp[3]) +
+				bits.OnesCount64(ap[4]&bp[4]) + bits.OnesCount64(ap[5]&bp[5]) +
+				bits.OnesCount64(ap[6]&bp[6]) + bits.OnesCount64(ap[7]&bp[7]) +
+				bits.OnesCount64(ap[8]&bp[8]) + bits.OnesCount64(ap[9]&bp[9]) +
+				bits.OnesCount64(ap[10]&bp[10]) + bits.OnesCount64(ap[11]&bp[11]) +
+				bits.OnesCount64(ap[12]&bp[12]) + bits.OnesCount64(ap[13]&bp[13]) +
+				bits.OnesCount64(ap[14]&bp[14]) + bits.OnesCount64(ap[15]&bp[15])
+			union := aOnes + int(po[x]) - inter
+			if union == 0 {
+				dst[x] = 0
+			} else {
+				dst[x] = float64(inter) / float64(union)
+			}
+		}
+		return
+	}
+	base := j0 * words
+	for x := range dst {
+		inter := andCountWords(a, slab[base:base+words])
+		base += words
+		union := aOnes + int(po[x]) - inter
+		if union == 0 {
+			dst[x] = 0
+		} else {
+			dst[x] = float64(inter) / float64(union)
+		}
+	}
+}
+
+// bitSimBatch is BitSimRow over an arbitrary member index list.
+func bitSimBatch(dst []float64, a []uint64, aOnes int, slab []uint64, ones []int32, js []int32, words int) {
+	if words == 16 {
+		// Same inline unroll as BitSimRow: the 32-intrinsic body is past
+		// the inliner's budget, so a helper would cost a call per
+		// candidate.
+		ap := (*[16]uint64)(a)
+		for x, j := range js {
+			bp := (*[16]uint64)(slab[int(j)*16:])
+			inter := bits.OnesCount64(ap[0]&bp[0]) + bits.OnesCount64(ap[1]&bp[1]) +
+				bits.OnesCount64(ap[2]&bp[2]) + bits.OnesCount64(ap[3]&bp[3]) +
+				bits.OnesCount64(ap[4]&bp[4]) + bits.OnesCount64(ap[5]&bp[5]) +
+				bits.OnesCount64(ap[6]&bp[6]) + bits.OnesCount64(ap[7]&bp[7]) +
+				bits.OnesCount64(ap[8]&bp[8]) + bits.OnesCount64(ap[9]&bp[9]) +
+				bits.OnesCount64(ap[10]&bp[10]) + bits.OnesCount64(ap[11]&bp[11]) +
+				bits.OnesCount64(ap[12]&bp[12]) + bits.OnesCount64(ap[13]&bp[13]) +
+				bits.OnesCount64(ap[14]&bp[14]) + bits.OnesCount64(ap[15]&bp[15])
+			union := aOnes + int(ones[j]) - inter
+			if union == 0 {
+				dst[x] = 0
+			} else {
+				dst[x] = float64(inter) / float64(union)
+			}
+		}
+		return
+	}
+	for x, j := range js {
+		inter := andCountWords(a, slab[int(j)*words:(int(j)+1)*words])
+		union := aOnes + int(ones[j]) - inter
+		if union == 0 {
+			dst[x] = 0
+		} else {
+			dst[x] = float64(inter) / float64(union)
+		}
+	}
+}
+
+// andCountWords is the AND-popcount of two equally sized word slices,
+// 4-wide unrolled for the common multiples-of-four widths.
+func andCountWords(a, b []uint64) int {
+	b = b[:len(a)] // bounds-check elimination in both loops below
+	inter := 0
+	k := 0
+	for ; k+4 <= len(a); k += 4 {
+		inter += bits.OnesCount64(a[k]&b[k]) + bits.OnesCount64(a[k+1]&b[k+1]) +
+			bits.OnesCount64(a[k+2]&b[k+2]) + bits.OnesCount64(a[k+3]&b[k+3])
+	}
+	for ; k < len(a); k++ {
+		inter += bits.OnesCount64(a[k] & b[k])
+	}
+	return inter
+}
+
 // Gather implements Localizer.
 func (j *Jaccard) Gather(ids []int32, dst *Local) {
 	dst.initProfiles(kindJaccard, ids, j.profiles)

@@ -31,6 +31,18 @@ type Provider interface {
 	Sim(u, v int32) float64
 }
 
+// RowProvider is the optional row-batched fast path of a Provider:
+// score u against the contiguous global-id run [v0, v1) in one call,
+// writing Sim(u, v0+x) into dst[x] (dst must hold at least v1-v0
+// elements). Providers whose representation is already a dense
+// member-major slab (GoldFinger) serve whole rows without any gather,
+// which the exact brute-force baseline exploits. Each dst element must
+// be bit-identical to the corresponding Sim call, and implementations
+// must be safe for concurrent use.
+type RowProvider interface {
+	SimRow(u, v0, v1 int32, dst []float64)
+}
+
 // Jaccard computes the exact Jaccard similarity
 // J(P_u, P_v) = |P_u ∩ P_v| / |P_u ∪ P_v| over raw profiles.
 type Jaccard struct {
@@ -91,6 +103,25 @@ func NewCounting(p Provider) *Counting { return &Counting{P: p} }
 func (c *Counting) Sim(u, v int32) float64 {
 	c.n.Add(1)
 	return c.P.Sim(u, v)
+}
+
+// SimRow implements RowProvider, counting one computation per row
+// element: the batch is delegated to the wrapped provider's own row
+// kernel when it has one and served by per-pair Sim dispatch otherwise
+// (still counted once, not double: the fallback calls c.P, not c).
+func (c *Counting) SimRow(u, v0, v1 int32, dst []float64) {
+	dst = dst[:v1-v0]
+	if len(dst) == 0 {
+		return
+	}
+	c.n.Add(int64(len(dst)))
+	if rp, ok := c.P.(RowProvider); ok {
+		rp.SimRow(u, v0, v1, dst)
+		return
+	}
+	for x := range dst {
+		dst[x] = c.P.Sim(u, v0+int32(x))
+	}
 }
 
 // Count returns the number of Sim calls observed so far.

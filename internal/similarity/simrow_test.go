@@ -1,0 +1,178 @@
+package similarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// bitsLocal builds a kindBits Local directly over random synthetic
+// signatures — the package cannot import goldfinger (import cycle), and
+// the row kernels only depend on the packed slab shape, not on how the
+// bits were derived. Some members are zeroed so the union==0 branch is
+// exercised.
+func bitsLocal(t *testing.T, rng *rand.Rand, m, words int) *Local {
+	t.Helper()
+	ids := make([]int32, m)
+	for i := range ids {
+		ids[i] = int32(i * 3)
+	}
+	var loc Local
+	sigs, ones := loc.InitBits(ids, words)
+	for i := 0; i < m; i++ {
+		if i%11 == 3 { // empty fingerprint: union can be 0
+			continue
+		}
+		n := 0
+		for w := 0; w < words; w++ {
+			v := rng.Uint64() & rng.Uint64() // sparse-ish
+			sigs[i*words+w] = v
+		}
+		for w := 0; w < words; w++ {
+			n += popcount(sigs[i*words+w])
+		}
+		ones[i] = int32(n)
+	}
+	return &loc
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for ; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// checkRowsMatchSim verifies SimRow and SimBatch against per-pair Sim
+// for every member and every block size 1..17 at every offset.
+func checkRowsMatchSim(t *testing.T, loc *Local) {
+	t.Helper()
+	m := loc.Len()
+	dst := make([]float64, m)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < m; i++ {
+		for bs := 1; bs <= 17; bs++ {
+			for j0 := 0; j0+bs <= m; j0 += bs {
+				j1 := j0 + bs
+				loc.SimRow(i, j0, j1, dst)
+				for x := 0; x < bs; x++ {
+					if got, want := dst[x], loc.Sim(i, j0+x); got != want {
+						t.Fatalf("SimRow(%d, %d, %d)[%d] = %v, want Sim(%d,%d) = %v",
+							i, j0, j1, x, got, i, j0+x, want)
+					}
+				}
+			}
+		}
+		// SimBatch over a shuffled arbitrary index list, including i itself.
+		js := make([]int32, 0, m)
+		for j := 0; j < m; j++ {
+			js = append(js, int32(j))
+		}
+		rng.Shuffle(len(js), func(a, b int) { js[a], js[b] = js[b], js[a] })
+		loc.SimBatch(i, js, dst)
+		for x, j := range js {
+			if got, want := dst[x], loc.Sim(i, int(j)); got != want {
+				t.Fatalf("SimBatch(%d)[%d] (j=%d) = %v, want %v", i, x, j, got, want)
+			}
+		}
+	}
+}
+
+// TestSimRowBitsEquivalence sweeps the bit-signature kernel across word
+// counts straddling every inner-loop regime: the w==16 specialization,
+// exact multiples of the 4-wide unroll, and odd tails.
+func TestSimRowBitsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, words := range []int{1, 2, 3, 4, 5, 7, 8, 12, 15, 16, 17} {
+		loc := bitsLocal(t, rng, 37, words)
+		checkRowsMatchSim(t, loc)
+	}
+}
+
+func TestSimRowProfileKernelsEquivalence(t *testing.T) {
+	d, _ := randomTestData(11)
+	ids := make([]int32, 41)
+	for i := range ids {
+		ids[i] = int32((i * 7) % d.NumUsers())
+	}
+	for _, p := range []Provider{NewJaccard(d), NewCosine(d)} {
+		var loc Local
+		GatherInto(p, ids, &loc)
+		checkRowsMatchSim(t, &loc)
+	}
+}
+
+func TestSimRowGenericFallbackEquivalence(t *testing.T) {
+	ids := make([]int32, 29)
+	for i := range ids {
+		ids[i] = int32(i * 5)
+	}
+	p := Func(func(u, v int32) float64 { return float64(u^v) / 512 })
+	var loc Local
+	GatherInto(p, ids, &loc)
+	checkRowsMatchSim(t, &loc)
+}
+
+// TestSimRowCounting verifies the batched paths keep the Counting
+// instrumentation exact: one count per scored element, through both the
+// gathered-kernel counter and the provider-dispatch fallback.
+func TestSimRowCounting(t *testing.T) {
+	d, _ := randomTestData(12)
+	c := NewCounting(NewJaccard(d))
+	ids := []int32{1, 4, 9, 16, 25, 36, 49}
+	var loc Local
+	GatherInto(c, ids, &loc)
+	dst := make([]float64, len(ids))
+	loc.SimRow(0, 1, 5, dst)
+	if c.Count() != 4 {
+		t.Errorf("SimRow of 4 elements counted %d", c.Count())
+	}
+	loc.SimBatch(2, []int32{0, 1, 3}, dst)
+	if c.Count() != 7 {
+		t.Errorf("after SimBatch of 3: count = %d, want 7", c.Count())
+	}
+
+	// RowProvider path of Counting itself, around a non-RowProvider.
+	c2 := NewCounting(Func(func(u, v int32) float64 { return float64(u+v) / 100 }))
+	var rp RowProvider = c2
+	rp.SimRow(3, 5, 9, dst)
+	if c2.Count() != 4 {
+		t.Errorf("Counting.SimRow fallback counted %d, want 4", c2.Count())
+	}
+	for x := 0; x < 4; x++ {
+		if dst[x] != float64(3+5+int32(x))/100 {
+			t.Errorf("Counting.SimRow fallback dst[%d] = %v", x, dst[x])
+		}
+	}
+}
+
+// FuzzSimRowBits cross-checks the blocked bit kernel against scalar Sim
+// on fuzz-chosen member counts, word widths, and block boundaries.
+func FuzzSimRowBits(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(20), uint8(0), uint8(7))
+	f.Add(int64(2), uint8(1), uint8(3), uint8(1), uint8(2))
+	f.Add(int64(3), uint8(17), uint8(9), uint8(4), uint8(5))
+	f.Fuzz(func(t *testing.T, seed int64, wordsB, mB, j0B, bsB uint8) {
+		words := 1 + int(wordsB)%20
+		m := 2 + int(mB)%40
+		rng := rand.New(rand.NewSource(seed))
+		loc := bitsLocal(t, rng, m, words)
+		j0 := int(j0B) % m
+		j1 := j0 + 1 + int(bsB)%(m-j0)
+		if j1 > m {
+			j1 = m
+		}
+		dst := make([]float64, j1-j0)
+		i := int(seed>>1) % m
+		if i < 0 {
+			i = -i
+		}
+		loc.SimRow(i, j0, j1, dst)
+		for x := range dst {
+			if got, want := dst[x], loc.Sim(i, j0+x); got != want {
+				t.Fatalf("words=%d m=%d i=%d block=[%d,%d): dst[%d]=%v, Sim=%v",
+					words, m, i, j0, j1, x, got, want)
+			}
+		}
+	})
+}

@@ -76,6 +76,41 @@ elif [ -f "$SERVE_JSON" ]; then
   echo "serve record $SERVE_JSON is stale (>60 min); skipping its gate"
 fi
 
+SOLVE_JSON="benchmarks/BENCH_solve.json"
+
+# Gate the local-solve record (scripts/bench-solve.sh): the blocked
+# row-kernel solver must be allocation-free in steady state and
+# meaningfully faster than the frozen pair-at-a-time reference on the
+# large-cluster case (where a real build's O(m²) brute-force time
+# concentrates). Locally the speedup measures ~1.5x on both cluster
+# sizes (see EXPERIMENTS.md for why the original 2x target is not
+# reachable while keeping the blocked path bit-identical to the scalar
+# one); the gate floor is 1.3x so runner noise cannot flake a true
+# regression signal, and any real loss of the gating/batching win drops
+# below it immediately.
+if [ -f "$SOLVE_JSON" ] && [ -n "$(find "$SOLVE_JSON" -mmin -60 2>/dev/null)" ]; then
+  echo "local-solve record ($SOLVE_JSON):"
+  cat "$SOLVE_JSON"
+  awk '
+    match($0, /"solve_speedup": *[0-9.]+/)    { split(substr($0, RSTART, RLENGTH), a, ": *"); speedup = a[2] + 0 }
+    match($0, /"small_speedup": *[0-9.]+/)    { split(substr($0, RSTART, RLENGTH), a, ": *"); small = a[2] + 0 }
+    match($0, /"allocs_per_solve": *[0-9.]+/) { split(substr($0, RSTART, RLENGTH), a, ": *"); allocs = a[2] + 0 }
+    END {
+      if (allocs != 0) {
+        printf("blocked local solve allocates (%.2f allocs/solve), want 0\n", allocs) > "/dev/stderr"
+        exit 1
+      }
+      if (speedup < 1.3) {
+        printf("blocked local solve only %.2fx over the scalar reference, want >= 1.3x\n", speedup) > "/dev/stderr"
+        exit 1
+      }
+      printf("solve gate ok: blocked %.2fx scalar on the large cluster (%.2fx small), 0 allocs/solve\n", speedup, small)
+    }
+  ' "$SOLVE_JSON"
+elif [ -f "$SOLVE_JSON" ]; then
+  echo "solve record $SOLVE_JSON is stale (>60 min); skipping its gate"
+fi
+
 HTTP_JSON="benchmarks/BENCH_http.json"
 
 # Gate the HTTP daemon record (scripts/bench-http.sh): under a

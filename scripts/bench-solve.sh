@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Run the local-solve benchmark (blocked row-kernel cluster solvers vs
+# the frozen pair-at-a-time references) on a small preset and record
+# benchmarks/BENCH_solve.json — the solver-kernel regression tracker
+# consumed by scripts/bench-compare.sh and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SOLVE_SCALE:-0.02}"
+WORKERS="${SOLVE_WORKERS:-4}"
+
+mkdir -p benchmarks
+go run ./cmd/c2bench -exp solve -scale "$SCALE" -workers "$WORKERS" \
+  -json benchmarks/BENCH_solve.json
+echo "wrote benchmarks/BENCH_solve.json"
