@@ -16,14 +16,24 @@
 //	POST /v1/{neighbors,topk,recommend} batched: {"users":[...],"k":K|"n":N}
 //	GET  /healthz                       liveness + current snapshot epoch
 //	GET  /statsz                        qps, p50/p99, cache hit rate, counters
+//	GET  /metrics                       Prometheus text exposition
 //	POST /admin/reload                  hot-swap to the snapshot on disk
+//
+// Hardening (see internal/server/middleware): every request gets an
+// X-Request-ID; handler panics become logged 500s instead of dropped
+// connections; -timeout bounds each query (503 beyond); -max-body caps
+// request bodies (413 beyond); -inflight sheds stampedes with 429 +
+// Retry-After instead of queueing unboundedly; -access-log writes one
+// line per request. -pprof starts a separate admin listener with
+// /debug/pprof and /metrics — bind it to localhost, it is
+// authentication-free.
 //
 // Lifecycle: SIGHUP re-reads -snap and atomically swaps the new index
 // in with zero downtime (equivalent to POST /admin/reload); SIGINT and
 // SIGTERM stop accepting connections and drain in-flight requests
 // before exiting. A version-skewed snapshot is reported as "rebuild
 // needed" and a damaged one as "corrupt" — the daemon keeps serving the
-// old index in both cases.
+// old index in both cases, and /statsz carries the failure kind.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,8 +61,16 @@ func main() {
 		pool    = flag.Int("pool", 0, "max concurrent queries (0 = 4x GOMAXPROCS)")
 		cache   = flag.Int("cache", 4096, "result cache entries (negative disables caching)")
 		shards  = flag.Int("shards", 16, "result cache shard count")
-		batch   = flag.Int("batch", 1024, "max users per batched request")
+		batch   = flag.Int("batch", 1024, "max users per batched request (400 beyond)")
 		drainTO = flag.Duration("drain", 10*time.Second, "shutdown drain timeout")
+
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request deadline on query endpoints, 503 beyond (0 disables)")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body cap in bytes, 413 beyond")
+		inflight  = flag.Int("inflight", 0, "max in-flight requests before shedding with 429 (0 = 64x pool, negative disables)")
+		accessLog = flag.Bool("access-log", false, "log one line per completed request")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /metrics on this extra admin address (empty disables; keep it on localhost)")
+		faults    = flag.Bool("fault-injection", false, "mount /admin/panic and /admin/delay (soak testing only; never in production)")
+		readTO    = flag.Duration("read-timeout", 30*time.Second, "socket read timeout — bounds slow-loris request bodies")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
@@ -74,15 +93,53 @@ func main() {
 	}
 	log.Printf("loaded %s in %v: %d users, k=%d", *snap, time.Since(start).Round(time.Millisecond), ix.NumUsers(), ix.K())
 
-	srv, err := server.New(ix, server.Config{
-		SnapshotPath:  *snap,
-		MaxConcurrent: *pool,
-		CacheEntries:  *cache,
-		CacheShards:   *shards,
-		MaxBatch:      *batch,
-	})
+	cfg := server.Config{
+		SnapshotPath:   *snap,
+		MaxConcurrent:  *pool,
+		CacheEntries:   *cache,
+		CacheShards:    *shards,
+		MaxBatch:       *batch,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *timeout,
+		MaxInFlight:    *inflight,
+		Logf:           log.Printf,
+		FaultInjection: *faults,
+	}
+	// Flag semantics: 0 means "off" for the user, but Config treats 0 as
+	// "use the default" — translate.
+	if *timeout == 0 {
+		cfg.RequestTimeout = -1
+	}
+	if *accessLog {
+		cfg.AccessLogf = log.Printf
+	}
+	if *faults {
+		log.Printf("fault injection ENABLED: /admin/panic and /admin/delay are live")
+	}
+	srv, err := server.New(ix, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		admin := http.NewServeMux()
+		admin.HandleFunc("/debug/pprof/", pprof.Index)
+		admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		admin.Handle("/metrics", srv.MetricsHandler())
+		adminLn, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		log.Printf("admin (pprof + metrics) on %s", adminLn.Addr())
+		go func() {
+			adminSrv := &http.Server{Handler: admin, ReadHeaderTimeout: 10 * time.Second}
+			if err := adminSrv.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("admin serve: %v", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -97,6 +154,10 @@ func main() {
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout also covers the body, so a slow-loris client that
+		// sends headers promptly but trickles its POST body is cut off
+		// here rather than holding a connection open indefinitely.
+		ReadTimeout: *readTO,
 		// Bound the whole response write: the worker pool releases its
 		// slot before the body is written, but a slow-reading client must
 		// still not be able to hold a connection (and its goroutine) open

@@ -1,0 +1,87 @@
+// Command soak runs the fault-injection soak harness against an
+// in-process hardened serving daemon (internal/server behind the full
+// middleware stack) and exits non-zero if any hardening invariant is
+// violated: a well-formed request failing or returning wrong bytes, a
+// fault probe answered with the wrong status, a daemon death, a corrupt
+// snapshot reload taking down the old epoch, or the /metrics counters
+// drifting from the harness's own accounting.
+//
+// Usage:
+//
+//	soak -duration 60s -clients 8 -json benchmarks/BENCH_soak.json
+//
+// CI runs it race-enabled through scripts/bench-soak.sh and gates the
+// JSON record in scripts/bench-compare.sh.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"c2knn/internal/experiments"
+)
+
+func main() {
+	var (
+		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1 = paper size)")
+		workers  = flag.Int("workers", 0, "server worker pool size (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 42, "master random seed")
+		duration = flag.Duration("duration", 60*time.Second, "wall-clock load window")
+		clients  = flag.Int("clients", 8, "concurrent well-formed clients")
+		jsonOut  = flag.String("json", "", "write the summary as JSON to this file (CI records it as benchmarks/BENCH_soak.json)")
+		p99Max   = flag.Duration("p99-max", time.Second, "fail if the well-formed p99 exceeds this")
+	)
+	flag.Parse()
+
+	env := &experiments.Env{Scale: *scale, Workers: *workers, Seed: *seed, Out: os.Stdout}
+	sum, err := env.Soak(experiments.SoakOptions{Duration: *duration, Clients: *clients})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		os.Exit(1)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soak: marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	// The invariants, spelled out one per line so a CI log names the
+	// exact violation (the JSON gate in bench-compare.sh repeats them).
+	fail := 0
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			fmt.Fprintf(os.Stderr, "soak: FAIL: "+format+"\n", args...)
+			fail = 1
+		}
+	}
+	check(sum.Requests > 0, "no well-formed requests completed")
+	check(sum.FailedReqs == 0, "%d well-formed requests failed", sum.FailedReqs)
+	check(sum.MismatchedResps == 0, "%d responses diverged from Index.Recommend", sum.MismatchedResps)
+	check(sum.FaultUnexpected == 0, "%d fault probes answered with the wrong status", sum.FaultUnexpected)
+	check(sum.Restarts == 0, "daemon died %d time(s)", sum.Restarts)
+	check(sum.Fault413 >= 1, "no oversized body was rejected with 413")
+	check(sum.Fault400 >= 1, "no over-cap batch was rejected with 400")
+	check(sum.Fault500 >= 1, "no injected panic was recovered into a 500")
+	check(sum.Fault503 >= 1, "no deadline expiry produced a 503")
+	check(sum.Shed429 >= 1, "admission control never shed with 429")
+	check(sum.HotSwaps >= 1, "no hot swap completed under load")
+	check(sum.CorruptReloads >= 1, "the corrupt-reload sequence did not run")
+	check(sum.CorruptKeptServing, "old epoch did not keep serving through the corrupt reload")
+	check(sum.GoodReloadAfterCorrupt, "good reload after the corrupt one did not succeed")
+	check(sum.MetricsReconciled, "/metrics drifted from harness accounting: %s", sum.MetricsDiff)
+	check(sum.P99Micros <= float64(*p99Max/time.Microsecond),
+		"p99 %.0f µs over the %v bound", sum.P99Micros, *p99Max)
+	if fail == 0 {
+		fmt.Println("soak: all hardening invariants held")
+	}
+	os.Exit(fail)
+}

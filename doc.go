@@ -143,7 +143,35 @@
 // failures are classified by the exported sentinels — errors.Is with
 // ErrSnapshotVersion means "rebuild with this binary's c2build", with
 // ErrSnapshotCorrupt "restore the file" — so the daemon logs the right
-// remedy. SIGINT/SIGTERM drain in-flight requests before exit.
+// remedy, and /statsz carries the kind and message of the last failed
+// reload. SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// # Operational hardening
+//
+// Every request into the daemon passes through a composable middleware
+// stack (internal/server/middleware): request-ID tagging
+// (X-Request-ID, generated or propagated), optional access logging,
+// and panic recovery globally; then, on the query endpoints only,
+// status accounting, admission control, a body-size cap, and a
+// per-request deadline. A handler panic becomes a logged 500 — request
+// ID and stack included — and the process keeps serving. Admission
+// control sheds load past -inflight concurrent requests with 429 +
+// Retry-After instead of queueing without bound; bodies past -max-body
+// answer 413; batches past -batch answer 400; work that outlives
+// -timeout answers 503. Health, stats and metrics probes bypass
+// shedding and deadlines so observability survives overload.
+//
+// Metrics are exposed in Prometheus text format on /metrics (and on
+// the opt-in -pprof admin listener, alongside /debug/pprof) with no
+// dependency beyond the standard library: c2_responses_total{code},
+// c2_panics_total, c2_shed_total, c2_deadline_expired_total,
+// c2_body_too_large_total, c2_inflight_requests, cache and snapshot
+// counters, and a c2_request_duration_seconds histogram. cmd/soak is
+// the fault-injection soak harness that drives all of this — injected
+// panics, oversized bodies, stampedes, slow-loris connections, corrupt
+// snapshot reloads — under well-formed load and reconciles /metrics
+// against its own accounting; see EXPERIMENTS.md ("Operational
+// hardening") for the invariants CI gates.
 //
 // The package root re-exports the stable surface of the internal
 // packages; see the examples directory for complete programs and

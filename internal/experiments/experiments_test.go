@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"c2knn/internal/server"
 )
@@ -260,6 +261,55 @@ func TestServeHTTPRun(t *testing.T) {
 	}
 	if sum.QPS <= 0 || sum.P99Micros <= 0 {
 		t.Errorf("degenerate throughput/latency: %+v", sum)
+	}
+}
+
+// TestSoakRun drives the fault-injection soak end to end on a tiny
+// preset with a short window: every invariant the CI gate enforces on
+// BENCH_soak.json must hold here too — zero failed/mismatched
+// well-formed requests, every fault class provoked and answered with
+// its documented status, the corrupt-reload runbook survived, and the
+// /metrics counters reconciled exactly with the harness accounting.
+func TestSoakRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	e := tinyEnv()
+	sum, err := e.Soak(SoakOptions{Duration: 2 * time.Second, Clients: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests == 0 {
+		t.Fatal("no well-formed requests completed")
+	}
+	if sum.FailedReqs != 0 {
+		t.Errorf("%d well-formed requests failed", sum.FailedReqs)
+	}
+	if sum.MismatchedResps != 0 {
+		t.Errorf("%d responses diverged from Index.Recommend", sum.MismatchedResps)
+	}
+	if sum.FaultUnexpected != 0 {
+		t.Errorf("%d fault probes got the wrong status", sum.FaultUnexpected)
+	}
+	if sum.Restarts != 0 {
+		t.Errorf("daemon died %d time(s)", sum.Restarts)
+	}
+	if sum.Fault413 < 1 || sum.Fault400 < 1 || sum.Fault500 < 1 || sum.Fault503 < 1 || sum.Shed429 < 1 {
+		t.Errorf("fault classes missing: 413×%d 400×%d 500×%d 503×%d 429×%d",
+			sum.Fault413, sum.Fault400, sum.Fault500, sum.Fault503, sum.Shed429)
+	}
+	if sum.LorisConns < 1 {
+		t.Errorf("no slow-loris connection was attempted")
+	}
+	if sum.HotSwaps < 1 {
+		t.Errorf("no hot swap completed under load (%d)", sum.HotSwaps)
+	}
+	if sum.CorruptReloads < 1 || !sum.CorruptKeptServing || !sum.GoodReloadAfterCorrupt {
+		t.Errorf("corrupt-reload runbook failed: reloads=%d kept=%v recovered=%v",
+			sum.CorruptReloads, sum.CorruptKeptServing, sum.GoodReloadAfterCorrupt)
+	}
+	if !sum.MetricsReconciled {
+		t.Errorf("/metrics drifted from harness accounting: %s", sum.MetricsDiff)
 	}
 }
 

@@ -1,0 +1,273 @@
+// Package middleware provides the composable HTTP hardening stages the
+// serving daemon wraps around its handlers: panic recovery, request-ID
+// generation/propagation, structured access logging, response-status
+// observation, per-request deadlines, request-body size limits, and
+// admission control (load shedding).
+//
+// Every stage is a plain func(http.Handler) http.Handler with no
+// dependency beyond the standard library, so stages compose in any
+// order with Chain and are testable in isolation. The order the daemon
+// uses (outermost first) is:
+//
+//	RequestID → AccessLog → Recover → mux
+//	    └─ query routes: CountStatus → Shed → BodyLimit → Deadline → handler
+//
+// RequestID runs first so every later stage (including the access log
+// and panic logs) can tag its output; Recover sits inside the loggers
+// so a panic-turned-500 is logged like any other response; Shed runs
+// before any per-request work so an overloaded server refuses cheaply;
+// BodyLimit arms before the handler reads; Deadline bounds everything
+// the handler does after admission.
+//
+// Two stages deliberately do NOT write error responses themselves:
+// Deadline only attaches a context deadline — handlers convert expiry
+// into 503 (keeping the response shape theirs) — and BodyLimit arms
+// http.MaxBytesReader, whose overflow surfaces as *http.MaxBytesError
+// at the handler's read (413 there); BodyLimit itself rejects only the
+// a-priori case of a Content-Length already above the cap.
+package middleware
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Middleware is one composable handler-wrapping stage.
+type Middleware func(http.Handler) http.Handler
+
+// Chain wraps h in stages so that stages[0] is the outermost: the
+// request passes stages[0], stages[1], …, then h.
+func Chain(h http.Handler, stages ...Middleware) http.Handler {
+	for i := len(stages) - 1; i >= 0; i-- {
+		h = stages[i](h)
+	}
+	return h
+}
+
+// StatusRecorder wraps a ResponseWriter and remembers the status code
+// and body byte count that passed through it. Status stays 0 until the
+// handler writes anything, which is how observers distinguish "handler
+// never responded" (a panic mid-flight) from a real response.
+type StatusRecorder struct {
+	http.ResponseWriter
+	Status int
+	Bytes  int64
+}
+
+func (r *StatusRecorder) WriteHeader(code int) {
+	if r.Status == 0 {
+		r.Status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *StatusRecorder) Write(b []byte) (int, error) {
+	if r.Status == 0 {
+		r.Status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.Bytes += int64(n)
+	return n, err
+}
+
+// ---- request IDs ----
+
+// HeaderRequestID is the header request IDs arrive and leave on.
+const HeaderRequestID = "X-Request-ID"
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// ridPrefix makes IDs from concurrent daemon instances distinguishable:
+// a per-process random prefix plus a per-request counter is cheaper
+// than per-request randomness and sorts chronologically within one
+// process's logs.
+var ridPrefix = func() string {
+	var b [4]byte
+	rand.Read(b[:]) // crypto/rand.Read never fails on supported platforms
+	return hex.EncodeToString(b[:])
+}()
+
+var ridCounter atomic.Uint64
+
+// RequestID propagates a caller-supplied X-Request-ID (so IDs follow a
+// request across tiers) or generates one, stores it in the request
+// context, and echoes it on the response.
+func RequestID() Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			id := r.Header.Get(HeaderRequestID)
+			if id == "" || len(id) > 128 {
+				id = ridPrefix + "-" + strconv.FormatUint(ridCounter.Add(1), 16)
+			}
+			w.Header().Set(HeaderRequestID, id)
+			next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey, id)))
+		})
+	}
+}
+
+// GetRequestID returns the request's ID, or "" outside a RequestID
+// stage.
+func GetRequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// ---- panic recovery ----
+
+// Recover turns a handler panic into a 500 (when nothing has been
+// written yet), logs it with the request ID and a stack trace through
+// logf, calls onPanic (counter hook), and keeps the process alive.
+// http.ErrAbortHandler is re-panicked: it is net/http's sanctioned way
+// to abort a response and must keep working.
+func Recover(logf func(format string, args ...any), onPanic func()) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := &StatusRecorder{ResponseWriter: w}
+			defer func() {
+				v := recover()
+				if v == nil {
+					return
+				}
+				if v == http.ErrAbortHandler {
+					panic(v)
+				}
+				if onPanic != nil {
+					onPanic()
+				}
+				if logf != nil {
+					logf("panic serving %s %s (request %s): %v\n%s",
+						r.Method, r.URL.Path, GetRequestID(r.Context()), v, debug.Stack())
+				}
+				if rec.Status == 0 {
+					http.Error(rec, "internal server error", http.StatusInternalServerError)
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}
+
+// ---- access logging ----
+
+// AccessLog writes one line per completed request through logf:
+// request ID, remote address, method, path, status, response bytes and
+// wall time. A request that panicked before writing logs status 0 (the
+// recovery stage, which runs inside this one, normally converts those
+// to 500 first).
+func AccessLog(logf func(format string, args ...any)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := &StatusRecorder{ResponseWriter: w}
+			start := time.Now()
+			defer func() {
+				logf("access rid=%s remote=%s method=%s path=%s status=%d bytes=%d dur=%s",
+					GetRequestID(r.Context()), r.RemoteAddr, r.Method, r.URL.Path,
+					rec.Status, rec.Bytes, time.Since(start).Round(time.Microsecond))
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}
+
+// ---- status observation ----
+
+// CountStatus reports each response's status code to fn once the
+// request finishes. Requests that never wrote (status 0 — an aborted
+// or panicking handler whose 500 is written further out) are not
+// reported; the recovery stage accounts those itself.
+func CountStatus(fn func(status int)) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			rec := &StatusRecorder{ResponseWriter: w}
+			defer func() {
+				if rec.Status != 0 {
+					fn(rec.Status)
+				}
+			}()
+			next.ServeHTTP(rec, r)
+		})
+	}
+}
+
+// ---- per-request deadlines ----
+
+// Deadline attaches a context deadline of d to every request. It does
+// not write the 503 itself: handlers that block (worker-pool admission,
+// long waits) select on the context and convert expiry into 503, which
+// keeps response bodies in the handler's format and the fast path free
+// of buffering. See server.(*Server).answer.
+func Deadline(d time.Duration) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			ctx, cancel := context.WithTimeout(r.Context(), d)
+			defer cancel()
+			next.ServeHTTP(w, r.WithContext(ctx))
+		})
+	}
+}
+
+// ---- body size limits ----
+
+// BodyLimit caps the request body at n bytes. A declared Content-Length
+// above the cap is rejected immediately with 413 (onTooLarge fires);
+// otherwise the body is wrapped in http.MaxBytesReader, so a lying or
+// chunked client trips *http.MaxBytesError at the handler's read and
+// the handler responds 413 there.
+func BodyLimit(n int64, onTooLarge func()) Middleware {
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.ContentLength > n {
+				if onTooLarge != nil {
+					onTooLarge()
+				}
+				w.Header().Set("Connection", "close")
+				http.Error(w, fmt.Sprintf("request body exceeds the %d-byte limit", n),
+					http.StatusRequestEntityTooLarge)
+				return
+			}
+			if r.Body != nil {
+				r.Body = http.MaxBytesReader(w, r.Body, n)
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+}
+
+// ---- admission control / load shedding ----
+
+// Shed bounds the number of requests past this stage at limit: request
+// limit+1 is refused with 429 and a Retry-After hint instead of
+// queueing unboundedly behind the worker pool. inFlight is the live
+// gauge (exported via /metrics); onShed fires per refused request.
+//
+// The limit is deliberately above the worker-pool size: requests
+// between the pool size and the limit wait briefly at the pool's
+// semaphore (cheap, bounded), and only genuine stampedes — more waiters
+// than the deadline could ever drain — are refused.
+func Shed(limit int, retryAfter time.Duration, inFlight *atomic.Int64, onShed func()) Middleware {
+	retrySecs := strconv.Itoa(int((retryAfter + time.Second - 1) / time.Second))
+	return func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if n := inFlight.Add(1); n > int64(limit) {
+				inFlight.Add(-1)
+				if onShed != nil {
+					onShed()
+				}
+				w.Header().Set("Retry-After", retrySecs)
+				http.Error(w, "server overloaded, retry later", http.StatusTooManyRequests)
+				return
+			}
+			defer inFlight.Add(-1)
+			next.ServeHTTP(w, r)
+		})
+	}
+}

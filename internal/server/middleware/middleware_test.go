@@ -1,0 +1,328 @@
+package middleware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoHandler writes 200 and the request ID it sees in its context.
+var echoHandler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	io.WriteString(w, GetRequestID(r.Context()))
+})
+
+func TestChainOrder(t *testing.T) {
+	var order []string
+	stage := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				order = append(order, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		order = append(order, "handler")
+	}), stage("outer"), stage("inner"))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if got := strings.Join(order, ","); got != "outer,inner,handler" {
+		t.Fatalf("chain order %s, want outer,inner,handler", got)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	h := Chain(echoHandler, RequestID())
+	tests := []struct {
+		name   string
+		header string
+		echoed bool // response body/header must equal the supplied header
+	}{
+		{"generated when absent", "", false},
+		{"propagated when supplied", "upstream-req-7", true},
+		{"regenerated when oversized", strings.Repeat("x", 200), false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest("GET", "/", nil)
+			if tc.header != "" {
+				req.Header.Set(HeaderRequestID, tc.header)
+			}
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, req)
+			hdr := rr.Header().Get(HeaderRequestID)
+			if hdr == "" || rr.Body.String() != hdr {
+				t.Fatalf("header %q, context-visible id %q; want non-empty and equal", hdr, rr.Body.String())
+			}
+			if tc.echoed && hdr != tc.header {
+				t.Fatalf("supplied id %q, echoed %q", tc.header, hdr)
+			}
+			if !tc.echoed && hdr == tc.header {
+				t.Fatalf("oversized/absent id %q was echoed verbatim", tc.header)
+			}
+		})
+	}
+	// Two generated IDs must differ.
+	a, b := httptest.NewRecorder(), httptest.NewRecorder()
+	h.ServeHTTP(a, httptest.NewRequest("GET", "/", nil))
+	h.ServeHTTP(b, httptest.NewRequest("GET", "/", nil))
+	if a.Header().Get(HeaderRequestID) == b.Header().Get(HeaderRequestID) {
+		t.Fatal("two generated request IDs collided")
+	}
+}
+
+func TestRecover(t *testing.T) {
+	var logs []string
+	var panics atomic.Int64
+	logf := func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) }
+	onPanic := func() { panics.Add(1) }
+
+	tests := []struct {
+		name       string
+		handler    http.HandlerFunc
+		wantStatus int
+		wantPanics int64
+	}{
+		{"panic before write becomes 500", func(w http.ResponseWriter, r *http.Request) {
+			panic("boom")
+		}, http.StatusInternalServerError, 1},
+		{"normal response passes through", func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusTeapot)
+		}, http.StatusTeapot, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			logs = nil
+			panics.Store(0)
+			h := Chain(tc.handler, RequestID(), Recover(logf, onPanic))
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/x", nil))
+			if rr.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d", rr.Code, tc.wantStatus)
+			}
+			if panics.Load() != tc.wantPanics {
+				t.Fatalf("onPanic fired %d times, want %d", panics.Load(), tc.wantPanics)
+			}
+			if tc.wantPanics > 0 {
+				if len(logs) != 1 || !strings.Contains(logs[0], "boom") || !strings.Contains(logs[0], "request ") {
+					t.Fatalf("panic log missing value or request id: %q", logs)
+				}
+			}
+		})
+	}
+
+	// ErrAbortHandler must pass through untouched (net/http contract).
+	h := Recover(logf, onPanic)(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic(http.ErrAbortHandler)
+	}))
+	defer func() {
+		if recover() != http.ErrAbortHandler {
+			t.Fatal("ErrAbortHandler was swallowed")
+		}
+	}()
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+}
+
+func TestAccessLog(t *testing.T) {
+	var line string
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		io.WriteString(w, "four")
+	}), RequestID(), AccessLog(func(format string, args ...any) { line = fmt.Sprintf(format, args...) }))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("POST", "/v1/topk", nil))
+	for _, want := range []string{"method=POST", "path=/v1/topk", "status=202", "bytes=4", "rid="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("access line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestCountStatus(t *testing.T) {
+	tests := []struct {
+		name    string
+		handler http.HandlerFunc
+		want    int // 0 = fn must not fire
+	}{
+		{"explicit status", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(503) }, 503},
+		{"implicit 200 via write", func(w http.ResponseWriter, r *http.Request) { io.WriteString(w, "ok") }, 200},
+		{"no write, no count", func(w http.ResponseWriter, r *http.Request) {}, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := 0
+			h := CountStatus(func(s int) { got = s })(tc.handler)
+			h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+			if got != tc.want {
+				t.Fatalf("counted status %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDeadline: the stage attaches the deadline; a cooperating handler
+// converts expiry into 503 (the daemon's handlers do exactly this).
+func TestDeadline(t *testing.T) {
+	cooperating := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case <-time.After(5 * time.Second):
+			w.WriteHeader(http.StatusOK)
+		}
+	})
+	rr := httptest.NewRecorder()
+	Chain(cooperating, Deadline(5*time.Millisecond)).
+		ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: status %d, want 503", rr.Code)
+	}
+
+	// A fast handler must see a live context and an actual deadline.
+	rr = httptest.NewRecorder()
+	Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, ok := r.Context().Deadline(); !ok {
+			t.Error("no deadline on request context")
+		}
+		if r.Context().Err() != nil {
+			t.Errorf("context already dead: %v", r.Context().Err())
+		}
+		w.WriteHeader(http.StatusOK)
+	}), Deadline(time.Minute)).ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("fast handler under deadline: status %d, want 200", rr.Code)
+	}
+}
+
+func TestBodyLimit(t *testing.T) {
+	var tooLarge atomic.Int64
+	readAll := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if _, err := io.ReadAll(r.Body); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				tooLarge.Add(1)
+				http.Error(w, "too large", http.StatusRequestEntityTooLarge)
+				return
+			}
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	h := Chain(readAll, BodyLimit(8, func() { tooLarge.Add(1) }))
+
+	tests := []struct {
+		name       string
+		body       string
+		wantStatus int
+		wantCount  int64
+	}{
+		{"under the cap", "1234", http.StatusOK, 0},
+		{"content-length over the cap rejected early", strings.Repeat("x", 64), http.StatusRequestEntityTooLarge, 1},
+		{"exactly at the cap", "12345678", http.StatusOK, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tooLarge.Store(0)
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("POST", "/", strings.NewReader(tc.body)))
+			if rr.Code != tc.wantStatus {
+				t.Fatalf("status %d, want %d", rr.Code, tc.wantStatus)
+			}
+			if tooLarge.Load() != tc.wantCount {
+				t.Fatalf("tooLarge count %d, want %d", tooLarge.Load(), tc.wantCount)
+			}
+		})
+	}
+
+	// A lying client (chunked / no Content-Length) trips MaxBytesReader
+	// at the handler's read instead.
+	tooLarge.Store(0)
+	req := httptest.NewRequest("POST", "/", strings.NewReader(strings.Repeat("y", 64)))
+	req.ContentLength = -1
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, req)
+	if rr.Code != http.StatusRequestEntityTooLarge || tooLarge.Load() != 1 {
+		t.Fatalf("chunked overflow: status %d, count %d; want 413, 1", rr.Code, tooLarge.Load())
+	}
+}
+
+func TestShed(t *testing.T) {
+	var gauge atomic.Int64
+	var shed atomic.Int64
+	block := make(chan struct{})
+	started := make(chan struct{})
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-block
+		w.WriteHeader(http.StatusOK)
+	}), Shed(2, 3*time.Second, &gauge, func() { shed.Add(1) }))
+
+	// Fill both slots with blocked requests.
+	var wg sync.WaitGroup
+	codes := make([]int, 2)
+	for i := range codes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr := httptest.NewRecorder()
+			h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+			codes[i] = rr.Code
+		}(i)
+		<-started
+	}
+	if g := gauge.Load(); g != 2 {
+		t.Fatalf("in-flight gauge %d with 2 blocked requests, want 2", g)
+	}
+
+	// The third request must be refused with 429 + Retry-After.
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/", nil))
+	if rr.Code != http.StatusTooManyRequests {
+		t.Fatalf("over-limit request: status %d, want 429", rr.Code)
+	}
+	if ra := rr.Header().Get("Retry-After"); ra != "3" {
+		t.Fatalf("Retry-After %q, want \"3\"", ra)
+	}
+	if shed.Load() != 1 {
+		t.Fatalf("onShed fired %d times, want 1", shed.Load())
+	}
+
+	close(block)
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Fatalf("admitted request %d: status %d, want 200", i, c)
+		}
+	}
+	if g := gauge.Load(); g != 0 {
+		t.Fatalf("in-flight gauge %d after drain, want 0", g)
+	}
+}
+
+// TestShedGaugeSurvivesPanic: a panicking admitted request must still
+// release its slot (the decrement is deferred).
+func TestShedGaugeSurvivesPanic(t *testing.T) {
+	var gauge atomic.Int64
+	h := Chain(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	}), Recover(nil, nil), Shed(1, time.Second, &gauge, nil))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", "/", nil))
+	if g := gauge.Load(); g != 0 {
+		t.Fatalf("gauge %d after panicking request, want 0", g)
+	}
+}
+
+// TestContextPlumb: GetRequestID on a bare context is empty, not a
+// panic.
+func TestContextPlumb(t *testing.T) {
+	if id := GetRequestID(context.Background()); id != "" {
+		t.Fatalf("bare context yielded id %q", id)
+	}
+}

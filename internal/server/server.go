@@ -30,11 +30,11 @@
 package server
 
 import (
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"c2knn"
+	"c2knn/internal/server/middleware"
 )
 
 // Config parameterizes a Server; the zero value gets sensible defaults.
@@ -68,8 +69,34 @@ type Config struct {
 	MaxBatch int
 	// MaxResults bounds k/n in a request (default 1000).
 	MaxResults int
-	// MaxBodyBytes bounds a request body (default 1 MiB).
+	// MaxBodyBytes bounds a request body (default 1 MiB); over-cap
+	// requests are refused with 413.
 	MaxBodyBytes int64
+	// RequestTimeout is the per-request deadline on query endpoints:
+	// a request that cannot be answered within it gets 503
+	// (default 10s; negative disables).
+	RequestTimeout time.Duration
+	// MaxInFlight is the admission-control bound: at most this many
+	// requests may be past the shed stage at once — the excess is
+	// refused with 429 + Retry-After instead of queueing unboundedly
+	// behind the worker pool (default 64×MaxConcurrent; negative
+	// disables shedding).
+	MaxInFlight int
+	// ShedRetryAfter is the Retry-After hint on shed responses
+	// (default 1s).
+	ShedRetryAfter time.Duration
+	// Logf receives panic reports (with stacks and request IDs); nil
+	// discards them. cmd/c2serve passes log.Printf.
+	Logf func(format string, args ...any)
+	// AccessLogf, when non-nil, enables the access-log stage: one line
+	// per completed request.
+	AccessLogf func(format string, args ...any)
+	// FaultInjection mounts /admin/panic (a handler that panics, to
+	// prove recovery) and /admin/delay?d= (a handler that sleeps, to
+	// provoke deadline expiry and occupy admission slots). For tests
+	// and the soak harness only — never enable it on a reachable
+	// production port.
+	FaultInjection bool
 }
 
 func (c *Config) setDefaults() {
@@ -91,6 +118,18 @@ func (c *Config) setDefaults() {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		// Far above the pool so only stampedes shed: waiters up to the
+		// limit queue briefly at the pool semaphore, which the request
+		// deadline bounds.
+		c.MaxInFlight = 64 * c.MaxConcurrent
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
 }
 
 // state is the unit of hot swap: an index and the epoch it was
@@ -106,12 +145,13 @@ type state struct {
 // Handler on an http.Server, and hot-swap snapshots with Swap or
 // Reload. All methods are safe for concurrent use.
 type Server struct {
-	cfg   Config
-	st    atomic.Pointer[state]
-	cache *Cache
-	stats *Stats
-	sem   chan struct{}
-	mux   *http.ServeMux
+	cfg     Config
+	st      atomic.Pointer[state]
+	cache   *Cache
+	stats   *Stats
+	sem     chan struct{}
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the global middleware stack
 
 	reloadMu sync.Mutex // serializes Reload/Swap epoch assignment
 	keys     sync.Pool  // *[]byte cache-key scratch
@@ -131,18 +171,60 @@ func New(ix *c2knn.Index, cfg Config) (*Server, error) {
 	}
 	s.keys.New = func() any { b := make([]byte, 0, 256); return &b }
 	s.st.Store(&state{ix: ix, epoch: 1})
+
+	// Per-route hardening chain for the query surface, innermost last:
+	// status accounting (reconcilable with a load generator), admission
+	// control, body cap, request deadline. /healthz, /statsz and
+	// /metrics bypass all of it — an overloaded daemon must still
+	// answer its operators.
+	observe := middleware.CountStatus(s.stats.RecordStatus)
+	var queryStages []middleware.Middleware
+	queryStages = append(queryStages, observe)
+	if cfg.MaxInFlight > 0 {
+		queryStages = append(queryStages,
+			middleware.Shed(cfg.MaxInFlight, cfg.ShedRetryAfter, s.stats.InFlightGauge(), s.stats.RecordShed))
+	}
+	queryStages = append(queryStages, middleware.BodyLimit(cfg.MaxBodyBytes, s.stats.RecordTooLarge))
+	if cfg.RequestTimeout > 0 {
+		queryStages = append(queryStages, middleware.Deadline(cfg.RequestTimeout))
+	}
+	query := func(h http.HandlerFunc) http.Handler { return middleware.Chain(h, queryStages...) }
+
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("/v1/neighbors", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpNeighbors) })
-	s.mux.HandleFunc("/v1/topk", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpTopK) })
-	s.mux.HandleFunc("/v1/recommend", func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpRecommend) })
+	s.mux.Handle("/v1/neighbors", query(func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpNeighbors) }))
+	s.mux.Handle("/v1/topk", query(func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpTopK) }))
+	s.mux.Handle("/v1/recommend", query(func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpRecommend) }))
 	s.mux.HandleFunc("/healthz", s.serveHealthz)
 	s.mux.HandleFunc("/statsz", s.serveStatsz)
-	s.mux.HandleFunc("/admin/reload", s.serveReload)
+	s.mux.HandleFunc("/metrics", s.serveMetrics)
+	// Reload is observed but never shed or deadlined: reloading is how
+	// an operator fixes an overloaded or misbehaving daemon, and a big
+	// snapshot may legitimately take longer than a query deadline.
+	s.mux.Handle("/admin/reload", middleware.Chain(http.HandlerFunc(s.serveReload), observe))
+	if cfg.FaultInjection {
+		s.mux.Handle("/admin/panic", middleware.Chain(http.HandlerFunc(s.servePanic), observe))
+		s.mux.Handle("/admin/delay", query(s.serveDelay))
+	}
+
+	// Global stack, outermost first: request IDs tag everything;
+	// optional access logging sees final statuses; recovery sits inside
+	// the loggers so a panic-turned-500 is logged like any response.
+	global := []middleware.Middleware{middleware.RequestID()}
+	if cfg.AccessLogf != nil {
+		global = append(global, middleware.AccessLog(cfg.AccessLogf))
+	}
+	global = append(global, middleware.Recover(cfg.Logf, func() {
+		s.stats.RecordPanic()
+		s.stats.RecordStatus(http.StatusInternalServerError)
+	}))
+	s.handler = middleware.Chain(s.mux, global...)
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler: the route mux wrapped in
+// the hardening middleware stack (see package middleware for the
+// order).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Index returns the currently served index.
 func (s *Server) Index() *c2knn.Index { return s.st.Load().ix }
@@ -183,7 +265,12 @@ func (s *Server) Reload() error {
 	defer s.reloadMu.Unlock()
 	ix, err := c2knn.LoadIndex(s.cfg.SnapshotPath)
 	if err != nil {
-		return fmt.Errorf("server: reload %s: %w", s.cfg.SnapshotPath, err)
+		err = fmt.Errorf("server: reload %s: %w", s.cfg.SnapshotPath, err)
+		// Surface the refusal on /statsz and /metrics: the old epoch
+		// keeps serving, but operators must be able to see that the
+		// snapshot on disk is bad.
+		s.stats.RecordReloadFailure(ReloadErrorKind(err), err.Error())
+		return err
 	}
 	old := s.st.Load()
 	s.st.Store(&state{ix: ix, epoch: old.epoch + 1})
@@ -303,10 +390,16 @@ func (s *Server) defaultCount(ep Endpoint) int {
 // nil, batched otherwise) through the pool, the cache, and the index.
 // The worker-pool slot is held only here — never across the response
 // write, so a slow-reading client cannot park index capacity behind a
-// stalled socket. Returns the marshaled body and whether it was a
-// cache hit.
-func (s *Server) answer(ep Endpoint, u int32, batch []int32, count int) ([]byte, bool, error) {
-	s.sem <- struct{}{}
+// stalled socket. Admission to the pool honors the request deadline:
+// a request that would wait past its deadline returns ctx.Err()
+// instead of occupying the queue (the handler answers 503). Returns
+// the marshaled body and whether it was a cache hit.
+func (s *Server) answer(ctx context.Context, ep Endpoint, u int32, batch []int32, count int) ([]byte, bool, error) {
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
 	defer func() { <-s.sem }()
 	st := s.st.Load()
 
@@ -350,9 +443,9 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, ep Endpoint
 		s.badRequest(w, countParam(ep)+" "+err.Error())
 		return
 	}
-	body, hit, err := s.answer(ep, u, nil, count)
+	body, hit, err := s.answer(r.Context(), ep, u, nil, count)
 	if err != nil {
-		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		s.answerError(w, r, err)
 		return
 	}
 	// The latency recorded is the query's, not the client's read speed.
@@ -360,11 +453,48 @@ func (s *Server) serveSingle(w http.ResponseWriter, r *http.Request, ep Endpoint
 	writeJSONBytes(w, body)
 }
 
+// answerError maps an answer failure onto the wire: an expired
+// per-request deadline is 503 (the hardening contract — an overloaded
+// or stalled server refuses rather than hangs), a client that went
+// away gets nothing, and anything else is an internal error.
+func (s *Server) answerError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.stats.RecordTimeout()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(errorResponse{Error: "request deadline expired"})
+	case errors.Is(err, context.Canceled):
+		// Client disconnected; nothing useful to write.
+	default:
+		http.Error(w, "encoding failure", http.StatusInternalServerError)
+	}
+}
+
+// tooLarge answers 413 for a body over the configured cap.
+func (s *Server) tooLarge(w http.ResponseWriter) {
+	s.stats.RecordTooLarge()
+	w.Header().Set("Connection", "close")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusRequestEntityTooLarge)
+	json.NewEncoder(w).Encode(errorResponse{
+		Error: fmt.Sprintf("request body exceeds the %d-byte limit", s.cfg.MaxBodyBytes),
+	})
+}
+
 func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, ep Endpoint) {
 	start := time.Now()
 	var req batchRequest
-	dec := json.NewDecoder(io.LimitReader(r.Body, s.cfg.MaxBodyBytes))
-	if err := dec.Decode(&req); err != nil {
+	// The body arrives through the BodyLimit stage's MaxBytesReader, so
+	// an over-cap body surfaces here as *http.MaxBytesError — a 413,
+	// distinct from malformed JSON's 400. (Direct callers without the
+	// middleware stack are unlimited; Handler() is the hardened path.)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.tooLarge(w)
+			return
+		}
 		s.badRequest(w, "invalid JSON body: "+err.Error())
 		return
 	}
@@ -387,9 +517,9 @@ func (s *Server) serveBatch(w http.ResponseWriter, r *http.Request, ep Endpoint)
 		s.badRequest(w, fmt.Sprintf("%s must be in [1, %d]", countParam(ep), s.cfg.MaxResults))
 		return
 	}
-	body, hit, err := s.answer(ep, 0, req.Users, count)
+	body, hit, err := s.answer(r.Context(), ep, 0, req.Users, count)
 	if err != nil {
-		http.Error(w, "encoding failure", http.StatusInternalServerError)
+		s.answerError(w, r, err)
 		return
 	}
 	s.stats.RecordQuery(ep, time.Since(start), len(req.Users), true, hit)
@@ -547,6 +677,42 @@ func (s *Server) serveReload(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(reloadResponse{Status: "ok", Epoch: st.epoch, Users: st.ix.NumUsers()})
 }
 
+// ---- fault injection (Config.FaultInjection only) ----
+
+// servePanic panics on purpose: the recovery middleware must convert
+// it into a 500, log it with the request ID, bump panics_total, and
+// leave the daemon serving. Mounted only under Config.FaultInjection;
+// the soak harness and the recovery regression test are its users.
+func (s *Server) servePanic(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "fault injection requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	panic("injected fault: panic requested via /admin/panic")
+}
+
+// serveDelay holds a request open for ?d= (a Go duration, capped at a
+// minute) while honoring the per-request deadline — the deterministic
+// way to occupy admission slots (provoking 429s) and to outlive the
+// deadline (provoking 503s). Mounted only under Config.FaultInjection.
+func (s *Server) serveDelay(w http.ResponseWriter, r *http.Request) {
+	d, err := time.ParseDuration(r.URL.Query().Get("d"))
+	if err != nil || d < 0 || d > time.Minute {
+		s.badRequest(w, "d must be a duration in (0, 1m]")
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "slept", "d": d.String()})
+	case <-r.Context().Done():
+		s.answerError(w, r, r.Context().Err())
+	}
+}
+
 // CacheHitAllocs measures the allocations per cache-hit query on the
 // recommend fast path: it primes the cache with one (user, n) query,
 // then replays it iters times and returns the mean allocation count per
@@ -555,18 +721,18 @@ func (s *Server) serveReload(w http.ResponseWriter, r *http.Request) {
 // from a single goroutine (concurrent traffic would pollute the
 // counter).
 func (s *Server) CacheHitAllocs(u int32, n, iters int) float64 {
-	s.answer(EpRecommend, u, nil, n) // prime (marshal + insert)
+	s.answer(context.Background(), EpRecommend, u, nil, n) // prime (marshal + insert)
 	runtime.GC()
 	// Re-warm the key-scratch pool: the GC above may have demoted its
 	// buffers, and a first Get would then count one allocation that no
 	// steady-state query pays.
-	if _, hit, _ := s.answer(EpRecommend, u, nil, n); !hit {
+	if _, hit, _ := s.answer(context.Background(), EpRecommend, u, nil, n); !hit {
 		return -1
 	}
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	for i := 0; i < iters; i++ {
-		if _, hit, _ := s.answer(EpRecommend, u, nil, n); !hit {
+		if _, hit, _ := s.answer(context.Background(), EpRecommend, u, nil, n); !hit {
 			return -1 // evicted mid-measurement; report as failure
 		}
 	}

@@ -2,6 +2,8 @@ package server
 
 import (
 	"math/bits"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -83,6 +85,21 @@ type Stats struct {
 	cacheMiss  atomic.Uint64
 	swaps      atomic.Uint64
 
+	// Hardening counters (fed by the middleware stack and the
+	// handlers' failure paths; see /metrics for their exported names).
+	panics     atomic.Uint64 // recovered handler panics
+	shed       atomic.Uint64 // requests refused with 429
+	timeouts   atomic.Uint64 // per-request deadlines expired (503)
+	tooLarge   atomic.Uint64 // request bodies over the cap (413)
+	inFlight   atomic.Int64  // requests currently inside the shed stage
+	byStatus   [len(knownStatusCodes) + 1]atomic.Uint64
+	sumMicros  atomic.Uint64 // total recorded query latency, for /metrics _sum
+	reloadFail atomic.Uint64
+
+	reloadErrMu    sync.Mutex // guards the two strings below
+	lastReloadKind string
+	lastReloadErr  string
+
 	hist [histBuckets]atomic.Uint64
 
 	qpsCounts [qpsWindowSlots]atomic.Uint64
@@ -110,6 +127,7 @@ func (st *Stats) RecordQuery(ep Endpoint, d time.Duration, nQueries int, batched
 		st.cacheMiss.Add(1)
 	}
 	st.hist[bucketOf(d)].Add(1)
+	st.sumMicros.Add(uint64(d / time.Microsecond))
 
 	sec := time.Now().Unix()
 	slot := sec % qpsWindowSlots
@@ -130,6 +148,56 @@ func (st *Stats) RecordBadRequest() { st.badRequest.Add(1) }
 
 // RecordSwap accounts one successful snapshot hot-swap.
 func (st *Stats) RecordSwap() { st.swaps.Add(1) }
+
+// RecordPanic accounts one recovered handler panic (the request was
+// answered with 500 and the daemon kept running).
+func (st *Stats) RecordPanic() { st.panics.Add(1) }
+
+// RecordShed accounts one request refused with 429 by admission
+// control.
+func (st *Stats) RecordShed() { st.shed.Add(1) }
+
+// RecordTimeout accounts one request whose per-request deadline expired
+// (answered 503).
+func (st *Stats) RecordTimeout() { st.timeouts.Add(1) }
+
+// RecordTooLarge accounts one request body over the configured cap
+// (answered 413).
+func (st *Stats) RecordTooLarge() { st.tooLarge.Add(1) }
+
+// InFlightGauge exposes the live in-flight gauge the shed stage
+// maintains.
+func (st *Stats) InFlightGauge() *atomic.Int64 { return &st.inFlight }
+
+// knownStatusCodes are the statuses the daemon emits on its query and
+// admin surfaces; anything else lands in the trailing "other" slot.
+// /metrics exports these as c2_responses_total{code="..."}.
+var knownStatusCodes = [...]int{200, 400, 404, 405, 413, 429, 500, 503}
+
+// RecordStatus accounts one finished response on the query/admin
+// surface by status code.
+func (st *Stats) RecordStatus(code int) {
+	for i, c := range knownStatusCodes {
+		if c == code {
+			st.byStatus[i].Add(1)
+			return
+		}
+	}
+	st.byStatus[len(knownStatusCodes)].Add(1)
+}
+
+// RecordReloadFailure accounts one failed snapshot reload and remembers
+// its classification (server.ReloadErrorKind) and message for /statsz —
+// the operator-visible trace that the daemon refused a bad snapshot and
+// kept serving the old epoch. The last failure is sticky across later
+// successful reloads; ReloadFailures says whether it is ancient
+// history.
+func (st *Stats) RecordReloadFailure(kind, msg string) {
+	st.reloadFail.Add(1)
+	st.reloadErrMu.Lock()
+	st.lastReloadKind, st.lastReloadErr = kind, msg
+	st.reloadErrMu.Unlock()
+}
 
 // percentile returns the p-quantile (0 < p <= 1) of recorded latencies
 // in microseconds, or 0 when nothing has been recorded. The histogram
@@ -157,6 +225,36 @@ func (st *Stats) percentile(p float64) float64 {
 		}
 	}
 	return bucketUpperMicros(histBuckets - 1)
+}
+
+// cumulativeAtMost returns, for each upper bound in uppersMicros
+// (ascending), the number of recorded latencies at most that many
+// microseconds, plus the grand total — the cumulative bucket counts a
+// Prometheus histogram exposition needs. A recorded value falling in an
+// HDR bucket that straddles an upper bound is attributed to the next
+// bound (its bucket's own upper edge), so the exposition never
+// under-reports a latency.
+func (st *Stats) cumulativeAtMost(uppersMicros []float64) (counts []uint64, total uint64) {
+	counts = make([]uint64, len(uppersMicros))
+	for i := 0; i < histBuckets; i++ {
+		c := st.hist[i].Load()
+		if c == 0 {
+			continue
+		}
+		total += c
+		upper := bucketUpperMicros(i)
+		for j, le := range uppersMicros {
+			if upper <= le {
+				counts[j] += c
+				break
+			}
+		}
+	}
+	// Make counts cumulative.
+	for j := 1; j < len(counts); j++ {
+		counts[j] += counts[j-1]
+	}
+	return counts, total
 }
 
 // windowRate returns requests/sec over the trailing full seconds of the
@@ -202,6 +300,21 @@ type Snapshot struct {
 	Epoch uint64 `json:"snapshot_epoch"`
 	Users int    `json:"users"`
 	K     int    `json:"k"`
+
+	// Hardening counters.
+	Panics          uint64            `json:"panics_total"`
+	Shed            uint64            `json:"shed_total"`
+	DeadlineExpired uint64            `json:"deadline_expired_total"`
+	BodyTooLarge    uint64            `json:"body_too_large_total"`
+	InFlight        int64             `json:"inflight"`
+	ByStatus        map[string]uint64 `json:"by_status"`
+
+	// Reload failure trace: count plus the classification and message
+	// of the most recent failure (sticky; compare ReloadFailures across
+	// scrapes to tell old news from new).
+	ReloadFailures  uint64 `json:"reload_failures"`
+	LastReloadKind  string `json:"last_reload_kind,omitempty"`
+	LastReloadError string `json:"last_reload_error,omitempty"`
 }
 
 // snapshot renders the counters; cacheEntries, epoch, users and k come
@@ -222,6 +335,24 @@ func (st *Stats) snapshot() Snapshot {
 		CacheHits:   st.cacheHits.Load(),
 		CacheMisses: st.cacheMiss.Load(),
 		Swaps:       st.swaps.Load(),
+	}
+	s.Panics = st.panics.Load()
+	s.Shed = st.shed.Load()
+	s.DeadlineExpired = st.timeouts.Load()
+	s.BodyTooLarge = st.tooLarge.Load()
+	s.InFlight = st.inFlight.Load()
+	s.ReloadFailures = st.reloadFail.Load()
+	st.reloadErrMu.Lock()
+	s.LastReloadKind, s.LastReloadError = st.lastReloadKind, st.lastReloadErr
+	st.reloadErrMu.Unlock()
+	s.ByStatus = make(map[string]uint64, len(knownStatusCodes)+1)
+	for i, code := range knownStatusCodes {
+		if n := st.byStatus[i].Load(); n > 0 {
+			s.ByStatus[strconv.Itoa(code)] = n
+		}
+	}
+	if n := st.byStatus[len(knownStatusCodes)].Load(); n > 0 {
+		s.ByStatus["other"] = n
 	}
 	for ep := Endpoint(0); ep < numEndpoints; ep++ {
 		s.ByEndpoint[ep.String()] = st.byEndpoint[ep].Load()

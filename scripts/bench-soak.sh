@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run the fault-injection soak (cmd/soak) race-enabled against the
+# hardened serving daemon and record benchmarks/BENCH_soak.json — the
+# operational-hardening tracker gated by scripts/bench-compare.sh and
+# CI. The soak must provoke and survive every fault class (413, 429,
+# 500, 503, slow loris, corrupt snapshot reload) with zero failed
+# well-formed requests; cmd/soak itself exits non-zero on any violation,
+# and the JSON gate repeats the checks on the record.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SOAK_SCALE:-0.02}"
+WORKERS="${SOAK_WORKERS:-4}"
+DURATION="${SOAK_DURATION:-30s}"
+CLIENTS="${SOAK_CLIENTS:-8}"
+
+mkdir -p benchmarks
+go run -race ./cmd/soak -scale "$SCALE" -workers "$WORKERS" \
+  -duration "$DURATION" -clients "$CLIENTS" \
+  -json benchmarks/BENCH_soak.json
+echo "wrote benchmarks/BENCH_soak.json"
