@@ -10,7 +10,7 @@
 //	c2bench -exp all -scale 0.05 -workers 4
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// theory, ablations, pipeline, serve, serve-http, solve, all.
+// theory, ablations, pipeline, serve, serve-http, solve, shard, all.
 package main
 
 import (
@@ -27,8 +27,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, serve-http, solve, all")
-		jsonOut  = flag.String("json", "", "write the pipeline/serve/serve-http/solve experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json, BENCH_serve.json, BENCH_http.json and BENCH_solve.json); when several such experiments run, the experiment name is inserted before the extension")
+		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, serve-http, solve, shard, all")
+		jsonOut  = flag.String("json", "", "write the pipeline/serve/serve-http/solve/shard experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json, BENCH_serve.json, BENCH_http.json, BENCH_solve.json and BENCH_shard.json); when several such experiments run, the experiment name is inserted before the extension")
 		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1 = paper size)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 42, "master random seed")
@@ -95,8 +95,15 @@ func main() {
 			}
 			return writeSummary(jsonPath("solve"), sum)
 		},
+		"shard": func() error {
+			sum, err := env.Shard()
+			if err != nil {
+				return err
+			}
+			return writeSummary(jsonPath("shard"), sum)
+		},
 	}
-	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve", "serve-http", "solve"}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve", "serve-http", "solve", "shard"}
 
 	var toRun []string
 	if *exp == "all" {
@@ -118,7 +125,7 @@ func main() {
 	// (out.json → out.pipeline.json, out.serve.json, out.solve.json).
 	jsonProducers := 0
 	for _, name := range toRun {
-		if name == "pipeline" || name == "serve" || name == "serve-http" || name == "solve" {
+		if name == "pipeline" || name == "serve" || name == "serve-http" || name == "solve" || name == "shard" {
 			jsonProducers++
 		}
 	}

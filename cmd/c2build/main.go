@@ -8,6 +8,10 @@
 //	c2build -in data.txt -algo hyrec -raw     # exact Jaccard, no GoldFinger
 //	c2build -in data.txt -snap index.c2       # build once, serve many:
 //	                                          # c2recommend -graph index.c2
+//	c2build -in data.txt -snap index.c2 -shards 2
+//	                    # additionally partition the build into per-shard
+//	                    # snapshots index.c2.shard0, index.c2.shard1 and a
+//	                    # manifest index.c2.manifest for c2serve -role router
 //
 // Algorithms: c2, hyrec, nndescent, lsh, bruteforce.
 package main
@@ -17,12 +21,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"time"
 
 	"c2knn/internal/bruteforce"
 	"c2knn/internal/core"
 	"c2knn/internal/dataset"
+	"c2knn/internal/frh"
 	"c2knn/internal/goldfinger"
 	"c2knn/internal/hyrec"
 	"c2knn/internal/knng"
@@ -43,6 +49,8 @@ func main() {
 		raw     = flag.Bool("raw", false, "use exact Jaccard instead of GoldFinger")
 		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "worker pool size")
 		seed    = flag.Int64("seed", 42, "random seed")
+		shards  = flag.Int("shards", 0, "with -snap: also partition the build into this many per-shard snapshots plus a manifest")
+		buckets = flag.Int("shard-buckets", frh.DefaultShardBuckets, "shard-key bucket count recorded in the manifest")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -101,6 +109,12 @@ func main() {
 		}
 		fmt.Printf("wrote snapshot %s (%d users, %d edges) in %v\n",
 			*snap, frozen.NumUsers(), frozen.NumEdges(), time.Since(start).Round(time.Millisecond))
+
+		if *shards > 1 {
+			if err := writeShards(*snap, frozen, d, gf, *buckets, *shards); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	if *out == "" {
@@ -123,6 +137,47 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// writeShards partitions the frozen build into per-shard snapshots
+// (<snap>.shard<i>) plus a versioned manifest (<snap>.manifest) mapping
+// bucket ranges to shard files — the artifact set c2serve -role router
+// serves. The manifest records each shard file's whole-file CRC and a
+// common epoch (the build's unix time), so a router can verify it is
+// fronting one coherent build.
+func writeShards(snapPath string, frozen *knng.Frozen, d *dataset.Dataset, gf *goldfinger.Set, buckets, shards int) error {
+	start := time.Now()
+	ranges := frh.PartitionBuckets(buckets, shards)
+	parts, users, err := persist.PartitionSnapshot(&persist.Snapshot{
+		Graph: frozen, Train: d, GoldFinger: gf,
+	}, buckets, ranges)
+	if err != nil {
+		return err
+	}
+	m := &persist.Manifest{Buckets: buckets, Epoch: uint64(time.Now().Unix())}
+	for i, part := range parts {
+		path := fmt.Sprintf("%s.shard%d", snapPath, i)
+		if err := persist.WriteFile(path, part); err != nil {
+			return err
+		}
+		crc, err := persist.FileCRC32C(path)
+		if err != nil {
+			return err
+		}
+		m.Shards = append(m.Shards, persist.ShardEntry{
+			ID: i, Range: ranges[i], Path: filepath.Base(path),
+			CRC: crc, Epoch: m.Epoch, Users: users[i],
+		})
+		fmt.Printf("wrote shard snapshot %s (%d owned users, %d edges)\n",
+			path, users[i], part.Graph.NumEdges())
+	}
+	manifestPath := snapPath + ".manifest"
+	if err := persist.WriteManifestFile(manifestPath, m); err != nil {
+		return err
+	}
+	fmt.Printf("wrote shard manifest %s (%d shards, %d buckets, epoch %d) in %v\n",
+		manifestPath, shards, buckets, m.Epoch, time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 func fatal(err error) {

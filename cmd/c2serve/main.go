@@ -1,12 +1,30 @@
-// Command c2serve is the long-running HTTP serving daemon: it loads a
-// snapshot written by c2build -snap into a c2knn.Index and serves
-// neighbor, top-k and recommendation queries until told to stop —
-// the query side of the build-once/serve-many split.
+// Command c2serve is the long-running HTTP serving daemon. It runs in
+// one of two roles behind the same binary and wire protocol:
+//
+//   - -role shard (the default): load a snapshot written by c2build
+//     -snap into a c2knn.Index and answer queries from it — the query
+//     side of the build-once/serve-many split. With a per-shard
+//     snapshot (c2build -shards) the process serves one shard of a
+//     partitioned corpus.
+//   - -role router: stateless scatter-gather tier. Loads a shard
+//     manifest (c2build -shards writes it next to the snapshot), wires
+//     the bucket-range table to replica addresses from -shard-addrs,
+//     and fans queries out to the shard daemons: single requests are
+//     proxied from the owning shard, batches are split and re-stitched
+//     byte-identically, failures fail over between replicas (hedged
+//     after -hedge), and a fully unreachable shard degrades to empty
+//     results with an X-C2-Partial header instead of failing requests.
 //
 // Usage:
 //
 //	c2build -in data.txt -snap index.c2
 //	c2serve -snap index.c2 -addr :8080
+//
+//	c2build -in data.txt -snap index.c2 -shards 2
+//	c2serve -role shard -snap index.c2.shard0 -addr :8081
+//	c2serve -role shard -snap index.c2.shard1 -addr :8082
+//	c2serve -role router -manifest index.c2.manifest \
+//	        -shard-addrs '0=http://localhost:8081,1=http://localhost:8082' -addr :8080
 //
 // Endpoints:
 //
@@ -29,11 +47,14 @@
 // authentication-free.
 //
 // Lifecycle: SIGHUP re-reads -snap and atomically swaps the new index
-// in with zero downtime (equivalent to POST /admin/reload); SIGINT and
-// SIGTERM stop accepting connections and drain in-flight requests
-// before exiting. A version-skewed snapshot is reported as "rebuild
-// needed" and a damaged one as "corrupt" — the daemon keeps serving the
-// old index in both cases, and /statsz carries the failure kind.
+// in with zero downtime (equivalent to POST /admin/reload; the router
+// role is stateless and ignores it); SIGINT and SIGTERM stop accepting
+// connections and drain in-flight requests before exiting. A
+// version-skewed snapshot is reported as "rebuild needed" and a damaged
+// one as "corrupt" — the daemon keeps serving the old index in both
+// cases, and /statsz carries the failure kind. A router surfaces a
+// shard replica stuck on an old epoch after a hot swap through the same
+// /statsz plumbing (kind "epoch-skew").
 package main
 
 import (
@@ -47,10 +68,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"c2knn"
+	"c2knn/internal/persist"
+	"c2knn/internal/router"
 	"c2knn/internal/server"
 )
 
@@ -71,10 +96,34 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /metrics on this extra admin address (empty disables; keep it on localhost)")
 		faults    = flag.Bool("fault-injection", false, "mount /admin/panic and /admin/delay (soak testing only; never in production)")
 		readTO    = flag.Duration("read-timeout", 30*time.Second, "socket read timeout — bounds slow-loris request bodies")
+
+		role       = flag.String("role", "shard", "serving role: shard (one snapshot) or router (scatter-gather over shard daemons)")
+		manifest   = flag.String("manifest", "", "router: shard manifest written by c2build -shards (required)")
+		shardAddrs = flag.String("shard-addrs", "", "router: replica table 'id=url|url,id=url' mapping manifest shard ids to base URLs (required)")
+		hedge      = flag.Duration("hedge", 500*time.Millisecond, "router: hedge a slow upstream try to another replica after this long (negative disables)")
+		upstreamTO = flag.Duration("upstream-timeout", 2*time.Second, "router: per-upstream-try deadline")
+		healthTick = flag.Duration("health-every", 2*time.Second, "router: replica health poll period")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
 	log.SetPrefix("c2serve: ")
+
+	switch *role {
+	case "shard":
+	case "router":
+		rcfg := routerCLI{
+			manifest: *manifest, shardAddrs: *shardAddrs,
+			hedge: *hedge, upstreamTO: *upstreamTO, healthTick: *healthTick,
+			batch: *batch, maxBody: *maxBody, timeout: *timeout, inflight: *inflight,
+			accessLog: *accessLog,
+		}
+		runRouter(rcfg, *addr, *pprofAddr, *drainTO, *readTO)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "c2serve: unknown -role %q (want shard or router)\n", *role)
+		os.Exit(2)
+	}
+
 	if *snap == "" {
 		fmt.Fprintln(os.Stderr, "c2serve: -snap is required")
 		os.Exit(2)
@@ -142,30 +191,6 @@ func main() {
 		}()
 	}
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		log.Fatalf("listen: %v", err)
-	}
-	// The actual address (resolves port 0); the e2e harness parses this
-	// line, so keep its shape stable.
-	fmt.Printf("c2serve: listening on %s\n", ln.Addr())
-	os.Stdout.Sync()
-
-	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-		// ReadTimeout also covers the body, so a slow-loris client that
-		// sends headers promptly but trickles its POST body is cut off
-		// here rather than holding a connection open indefinitely.
-		ReadTimeout: *readTO,
-		// Bound the whole response write: the worker pool releases its
-		// slot before the body is written, but a slow-reading client must
-		// still not be able to hold a connection (and its goroutine) open
-		// forever.
-		WriteTimeout: 2 * time.Minute,
-		IdleTimeout:  2 * time.Minute,
-	}
-
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -179,6 +204,38 @@ func main() {
 		}
 	}()
 
+	listenAndServe(srv.Handler(), *addr, *drainTO, *readTO)
+}
+
+// listenAndServe runs handler on addr with the daemon's socket
+// discipline until SIGINT/SIGTERM drains it. Both roles share it, so
+// operational behavior — including the parseable "listening on" line
+// the e2e harness waits for — is identical across the tier.
+func listenAndServe(handler http.Handler, addr string, drainTO, readTO time.Duration) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	// The actual address (resolves port 0); the e2e harness parses this
+	// line, so keep its shape stable.
+	fmt.Printf("c2serve: listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout also covers the body, so a slow-loris client that
+		// sends headers promptly but trickles its POST body is cut off
+		// here rather than holding a connection open indefinitely.
+		ReadTimeout: readTO,
+		// Bound the whole response write: the worker pool releases its
+		// slot before the body is written, but a slow-reading client must
+		// still not be able to hold a connection (and its goroutine) open
+		// forever.
+		WriteTimeout: 2 * time.Minute,
+		IdleTimeout:  2 * time.Minute,
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	done := make(chan error, 1)
@@ -186,8 +243,8 @@ func main() {
 
 	select {
 	case sig := <-stop:
-		log.Printf("%v: draining (timeout %v)", sig, *drainTO)
-		ctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		log.Printf("%v: draining (timeout %v)", sig, drainTO)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTO)
 		defer cancel()
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("drain incomplete: %v", err)
@@ -199,4 +256,127 @@ func main() {
 			log.Fatalf("serve: %v", err)
 		}
 	}
+}
+
+// routerCLI carries the router role's flag values.
+type routerCLI struct {
+	manifest, shardAddrs          string
+	hedge, upstreamTO, healthTick time.Duration
+	timeout                       time.Duration
+	batch                         int
+	maxBody                       int64
+	inflight                      int
+	accessLog                     bool
+}
+
+// runRouter builds the scatter-gather tier from a shard manifest and a
+// replica table and serves it.
+func runRouter(cli routerCLI, addr, pprofAddr string, drainTO, readTO time.Duration) {
+	if cli.manifest == "" || cli.shardAddrs == "" {
+		fmt.Fprintln(os.Stderr, "c2serve: -role router requires -manifest and -shard-addrs")
+		os.Exit(2)
+	}
+	m, err := persist.ReadManifestFile(cli.manifest)
+	if err != nil {
+		log.Fatalf("manifest: %v", err)
+	}
+	table, err := parseShardAddrs(cli.shardAddrs)
+	if err != nil {
+		log.Fatalf("shard-addrs: %v", err)
+	}
+	cfg := router.Config{
+		Buckets:         m.Buckets,
+		UpstreamTimeout: cli.upstreamTO,
+		HedgeAfter:      cli.hedge,
+		HealthEvery:     cli.healthTick,
+		MaxBatch:        cli.batch,
+		MaxBodyBytes:    cli.maxBody,
+		RequestTimeout:  cli.timeout,
+		MaxInFlight:     cli.inflight,
+		Logf:            log.Printf,
+	}
+	if cli.timeout == 0 {
+		cfg.RequestTimeout = -1
+	}
+	if cli.accessLog {
+		cfg.AccessLogf = log.Printf
+	}
+	for _, sh := range m.Shards {
+		replicas, ok := table[sh.ID]
+		if !ok {
+			log.Fatalf("shard-addrs: manifest shard %d has no replica addresses", sh.ID)
+		}
+		delete(table, sh.ID)
+		cfg.Shards = append(cfg.Shards, router.ShardSpec{ID: sh.ID, Range: sh.Range, Replicas: replicas})
+	}
+	for id := range table {
+		log.Fatalf("shard-addrs: shard %d is not in the manifest", id)
+	}
+	rt, err := router.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+	log.Printf("router over %d shards (%d buckets, manifest epoch %d)", len(cfg.Shards), m.Buckets, m.Epoch)
+
+	if pprofAddr != "" {
+		admin := http.NewServeMux()
+		admin.HandleFunc("/debug/pprof/", pprof.Index)
+		admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		adminLn, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			log.Fatalf("admin listen: %v", err)
+		}
+		log.Printf("admin (pprof) on %s", adminLn.Addr())
+		go func() {
+			adminSrv := &http.Server{Handler: admin, ReadHeaderTimeout: 10 * time.Second}
+			if err := adminSrv.Serve(adminLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("admin serve: %v", err)
+			}
+		}()
+	}
+
+	listenAndServe(rt.Handler(), addr, drainTO, readTO)
+}
+
+// parseShardAddrs parses 'id=url|url,id=url' into a replica table.
+func parseShardAddrs(s string) (map[int][]string, error) {
+	table := make(map[int][]string)
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, urls, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not id=url|url", entry)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("entry %q: shard id %q is not an integer", entry, id)
+		}
+		if _, dup := table[n]; dup {
+			return nil, fmt.Errorf("shard %d appears twice", n)
+		}
+		for _, u := range strings.Split(urls, "|") {
+			u = strings.TrimSpace(strings.TrimSuffix(u, "/"))
+			if u == "" {
+				continue
+			}
+			if !strings.Contains(u, "://") {
+				u = "http://" + u
+			}
+			table[n] = append(table[n], u)
+		}
+		if len(table[n]) == 0 {
+			return nil, fmt.Errorf("shard %d has no replica URLs", n)
+		}
+	}
+	if len(table) == 0 {
+		return nil, errors.New("empty replica table")
+	}
+	return table, nil
 }

@@ -173,6 +173,57 @@
 // against its own accounting; see EXPERIMENTS.md ("Operational
 // hardening") for the invariants CI gates.
 //
+// # Sharded serving
+//
+// One build can be served by many processes. c2build -shards N
+// additionally partitions the snapshot into N per-shard snapshots
+// (<snap>.shard0 … <snap>.shardN-1) plus a manifest (<snap>.manifest),
+// and c2serve runs in one of two roles: -role shard serves one
+// per-shard snapshot exactly like an unsharded daemon, and -role
+// router is a stateless scatter-gather tier that fans the same /v1
+// wire protocol out over the shard daemons.
+//
+// Users map to shards through a stable hash: ShardKey(u, buckets)
+// places user u in one of buckets (default DefaultShardBuckets = 4096)
+// contiguously tiled by per-shard bucket ranges. A shard's snapshot
+// keeps the full dataset and fingerprints (scoring a user's neighbors
+// needs their profiles) but masks the graph — the artifact that grows
+// with the corpus — down to its owned users' rows, preserving the
+// global user-id space so any shard can decode any request.
+//
+// # Shard manifest format
+//
+// The manifest is a versioned, checksummed binary container, little-
+// endian throughout: an 8-byte magic "C2MANI\r\n", a uint32 format
+// version, a uint64 payload length, the payload, and a uint32 CRC-32C
+// of the payload. The payload holds the bucket count, a common build
+// epoch, and one entry per shard: {shard id, bucket range lo..hi
+// (inclusive), snapshot path (relative to the manifest), whole-file
+// CRC-32C of that snapshot, epoch, owned-user count}. Decoding
+// validates framing and checksum; Manifest.Validate additionally
+// enforces dense shard ids, a disjoint full cover of [1, buckets], and
+// a uniform epoch — a router refuses a table that routes any bucket
+// nowhere, twice, or across builds. See internal/persist.
+//
+// # Scatter-gather routing
+//
+// The router (internal/router) proxies single-user GETs verbatim from
+// the owning shard — status and body bytes untouched — and splits
+// batched POSTs into per-shard sub-batches, reassembling the responses
+// in request order from the shards' own marshaled bytes, so a routed
+// response is byte-identical to what one unsharded daemon would have
+// produced. Per-try upstream deadlines, failover to sibling replicas,
+// and hedged retries (a second replica is tried after -hedge) keep
+// tail latency bounded; when a shard is entirely unreachable the
+// router degrades instead of failing — affected users get empty
+// results and the response carries an X-C2-Partial header counting
+// them. A health loop polls replica /healthz endpoints, prefers
+// healthy replicas in rotation, and surfaces a replica stuck on an old
+// snapshot epoch after a hot swap ("epoch skew") through the same
+// /statsz reload-failure plumbing the shard tier uses, plus
+// router-specific /metrics series (c2_router_*). See EXPERIMENTS.md
+// ("Sharded serving") for the measured scaling and the CI gates.
+//
 // The package root re-exports the stable surface of the internal
 // packages; see the examples directory for complete programs and
 // cmd/c2bench for the experiment harness.

@@ -346,3 +346,40 @@ func TestPipelineRun(t *testing.T) {
 		t.Errorf("quality ratio %.4f below the 0.999 parity bound", sum.QualityRatio)
 	}
 }
+
+// TestShardRun drives the sharded-serving experiment end to end on a
+// tiny preset: the correctness invariants the CI gate enforces on
+// BENCH_shard.json must hold here too — zero failed requests, every
+// routed response byte-identical to the single-process daemon's, and
+// zero partial responses while all replicas are up. Speedup is only
+// checked for sanity (> 0): it is hardware-dependent and gated
+// conditionally by scripts/bench-compare.sh, not here.
+func TestShardRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second serving comparison")
+	}
+	e := tinyEnv()
+	sum, err := e.Shard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+	if sum.FailedReqs != 0 {
+		t.Errorf("%d routed requests failed", sum.FailedReqs)
+	}
+	if sum.MismatchedResps != 0 {
+		t.Errorf("%d routed responses were not byte-identical to the single-process daemon", sum.MismatchedResps)
+	}
+	if sum.Partials != 0 {
+		t.Errorf("%d responses degraded to partial with all replicas healthy", sum.Partials)
+	}
+	if sum.Speedup <= 0 || sum.SingleQPS <= 0 || sum.RoutedQPS <= 0 {
+		t.Errorf("degenerate throughput record: single %.2f, routed %.2f, speedup %.2f",
+			sum.SingleQPS, sum.RoutedQPS, sum.Speedup)
+	}
+	if sum.Shards != 2 || sum.Workers != 1 {
+		t.Errorf("experiment shape drifted: %d shards, %d workers per process", sum.Shards, sum.Workers)
+	}
+}

@@ -1,0 +1,126 @@
+// Shard keys: the stable user → bucket-range mapping shared by the
+// snapshot partitioner (c2build -shards) and the serving router
+// (c2serve -role router).
+//
+// Cluster-and-Conquer's FRH bucketing makes similarity computation
+// cluster-local, so user ranges partition cleanly with no cross-shard
+// coupling: a user's neighbors, and the profiles recommendation scores
+// against, are all reachable from that user's own serving rows. The
+// shard key reuses the same generative-hash machinery (jenkins.Hash32
+// into a small bounded range [1, B]) but applies it to the user id
+// rather than the profile: the router must place a user knowing only
+// the id on the wire — it holds no profiles — and an id hash spreads
+// users uniformly across buckets regardless of profile skew. Contiguous
+// bucket ranges then map to shards, so a manifest stays B-independent
+// re-balanceable: moving a boundary moves ~uniform slices of users.
+//
+// Stability is a wire contract: ShardKey must return the same bucket
+// for the same (user, buckets) on every build and every binary version,
+// or routers and partitioners would disagree about ownership. The seed
+// is a package constant for that reason; shard_test.go pins golden
+// values.
+package frh
+
+import (
+	"fmt"
+	"sort"
+
+	"c2knn/internal/jenkins"
+)
+
+// shardSeed fixes the hash family of the shard key. Changing it would
+// silently reshuffle every user onto a different shard, so it is not
+// configurable: new layouts come from new manifests, not new seeds.
+const shardSeed uint32 = 0x5a17c2c2
+
+// DefaultShardBuckets is the default shard-key space size. Like the
+// paper's B it is far larger than any plausible shard count, so range
+// boundaries can move in fine steps.
+const DefaultShardBuckets = 4096
+
+// ShardKey maps a user id to its bucket in [1, buckets]. The mapping is
+// a pure function of (u, buckets) — stable across processes, builds and
+// binary versions — so a partitioner and a router that agree on the
+// bucket count agree on every user's bucket.
+func ShardKey(u int32, buckets int) uint32 {
+	return jenkins.Hash32(uint32(u), shardSeed)%uint32(buckets) + 1
+}
+
+// BucketRange is a contiguous inclusive range [Lo, Hi] of shard-key
+// buckets. A shard owns the users whose ShardKey falls in its range.
+type BucketRange struct {
+	Lo uint32 `json:"lo"`
+	Hi uint32 `json:"hi"`
+}
+
+// Contains reports whether bucket b falls in the range.
+func (r BucketRange) Contains(b uint32) bool { return r.Lo <= b && b <= r.Hi }
+
+// Buckets returns the number of buckets the range spans.
+func (r BucketRange) Buckets() int { return int(r.Hi - r.Lo + 1) }
+
+// Validate checks that the range is well-formed within a buckets-sized
+// key space.
+func (r BucketRange) Validate(buckets int) error {
+	if r.Lo < 1 || r.Hi > uint32(buckets) || r.Lo > r.Hi {
+		return fmt.Errorf("frh: bucket range [%d, %d] invalid for %d buckets", r.Lo, r.Hi, buckets)
+	}
+	return nil
+}
+
+// PartitionBuckets splits the key space [1, buckets] into shards
+// contiguous near-equal ranges (the first buckets%shards ranges are one
+// bucket larger). It panics if shards exceeds buckets or either is
+// non-positive — a layout with empty shards is a configuration error,
+// not a servable manifest.
+func PartitionBuckets(buckets, shards int) []BucketRange {
+	if buckets <= 0 || shards <= 0 || shards > buckets {
+		panic(fmt.Sprintf("frh: cannot split %d buckets into %d shards", buckets, shards))
+	}
+	out := make([]BucketRange, shards)
+	per, extra := buckets/shards, buckets%shards
+	lo := uint32(1)
+	for i := range out {
+		span := per
+		if i < extra {
+			span++
+		}
+		out[i] = BucketRange{Lo: lo, Hi: lo + uint32(span) - 1}
+		lo += uint32(span)
+	}
+	return out
+}
+
+// ShardOf returns the index of the range containing u's bucket, or -1
+// when no range does. ranges must be sorted by Lo (manifest order);
+// with overlapping ranges the first owner wins — callers that must see
+// every owner (the router's merge path) use OwnersOf.
+func ShardOf(u int32, buckets int, ranges []BucketRange) int {
+	key := ShardKey(u, buckets)
+	i := sort.Search(len(ranges), func(i int) bool { return ranges[i].Hi >= key })
+	if i < len(ranges) && ranges[i].Contains(key) {
+		return i
+	}
+	// Overlapping ranges can hide an owner before i (a wide range whose
+	// Hi sorts later); fall back to a scan only then.
+	for j := range ranges {
+		if ranges[j].Contains(key) {
+			return j
+		}
+	}
+	return -1
+}
+
+// OwnersOf appends the indices of every range containing u's bucket to
+// dst (in range order) and returns it. Disjoint manifests yield at most
+// one owner; overlap — a resharding migration serving a user from both
+// its old and new shard — yields several.
+func OwnersOf(u int32, buckets int, ranges []BucketRange, dst []int) []int {
+	key := ShardKey(u, buckets)
+	for i := range ranges {
+		if ranges[i].Contains(key) {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

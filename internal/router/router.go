@@ -1,0 +1,820 @@
+// Package router implements the scatter-gather tier of the sharded
+// serving stack: a stateless process that owns an immutable-after-start
+// shard table (bucket range → replica addresses, loaded from a persist
+// shard manifest) and fans /v1/{neighbors,topk,recommend} requests out
+// to shard daemons over HTTP.
+//
+// Design, from the request inward:
+//
+//   - Routing is by shard key: frh.ShardKey hashes the user id into the
+//     manifest's bucket space and the owning shard is the range holding
+//     that bucket. The router holds no profiles and no graph — only the
+//     table — so it is trivially replicable and restarts in
+//     milliseconds.
+//   - Responses are moved, not re-encoded. A single-user GET is proxied
+//     verbatim from the owning shard; a batched POST is split into
+//     per-shard sub-batches and the reply stitched back together from
+//     the shards' own result bytes in the caller's user order. Routed
+//     answers are therefore byte-identical to what one process over one
+//     whole snapshot would serve (router_test.go proves it), and the
+//     happy path never pays a float re-encode.
+//   - Degradation is graceful and bounded. Each upstream try has its
+//     own timeout; a failed try fails over to the next replica; a slow
+//     try is hedged to another replica after Config.HedgeAfter. Only
+//     when every replica of a shard has failed does the router answer
+//     anyway — 200 with empty results for that shard's users and an
+//     X-C2-Partial header carrying the count — so one dead shard
+//     degrades answers instead of failing whole requests.
+//   - A background poll watches every replica's /healthz: routing
+//     prefers healthy replicas, and disagreement about the serving
+//     epoch between replicas of one shard (a hot swap that took on one
+//     replica and not the other) is surfaced on /statsz and through the
+//     shard tier's reload-failure plumbing (kind "epoch-skew").
+//   - Overlapping bucket ranges — a resharding migration serving users
+//     from both their old and new shard — take a slow path: typed
+//     decode, deterministic merge (similarity descending, ties by
+//     ascending id; exactly the frozen CSR order), re-encode.
+//
+// The router reuses the shard daemon's middleware stack (request IDs
+// propagate through X-Request-ID, so one request is traceable across
+// tiers), its Stats counters, and its latency histogram layout.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"c2knn/internal/frh"
+	"c2knn/internal/server"
+	"c2knn/internal/server/middleware"
+)
+
+// HeaderPartial is set on responses that were answered with degraded
+// (partial) results because some shard could not be reached; its value
+// is the number of users answered with empty fills.
+const HeaderPartial = "X-C2-Partial"
+
+// ShardSpec names one shard of the table: its manifest id, the bucket
+// range it owns, and the base URLs of its replicas (all serving the
+// same shard snapshot).
+type ShardSpec struct {
+	ID       int
+	Range    frh.BucketRange
+	Replicas []string
+}
+
+// Config parameterizes a Router; the zero value of most fields gets
+// sensible defaults.
+type Config struct {
+	// Buckets is the shard-key space size the table's ranges live in
+	// (from the manifest; default frh.DefaultShardBuckets).
+	Buckets int
+	// Shards is the immutable shard table. Ranges must be sorted by Lo.
+	Shards []ShardSpec
+	// UpstreamTimeout bounds one upstream try (default 2s).
+	UpstreamTimeout time.Duration
+	// HedgeAfter launches a second try on another replica when the
+	// first has not answered within it (default 500ms; negative
+	// disables hedging).
+	HedgeAfter time.Duration
+	// HealthEvery is the replica health-poll period (default 2s;
+	// negative disables the background loop — PollHealth still works).
+	HealthEvery time.Duration
+	// MaxBatch, MaxResults, MaxBodyBytes, RequestTimeout, MaxInFlight,
+	// ShedRetryAfter mirror the shard daemon's limits (same defaults).
+	MaxBatch       int
+	MaxResults     int
+	MaxBodyBytes   int64
+	RequestTimeout time.Duration
+	MaxInFlight    int
+	ShedRetryAfter time.Duration
+	// Logf receives panic and degradation reports; AccessLogf enables
+	// access logging (one line per completed request).
+	Logf       func(format string, args ...any)
+	AccessLogf func(format string, args ...any)
+	// Client overrides the upstream HTTP client (tests). The default
+	// allows many idle connections per replica.
+	Client *http.Client
+}
+
+func (c *Config) setDefaults() {
+	if c.Buckets <= 0 {
+		c.Buckets = frh.DefaultShardBuckets
+	}
+	if c.UpstreamTimeout <= 0 {
+		c.UpstreamTimeout = 2 * time.Second
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 500 * time.Millisecond
+	}
+	if c.HealthEvery == 0 {
+		c.HealthEvery = 2 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 1024
+	}
+	if c.MaxResults <= 0 {
+		c.MaxResults = 1000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 256 * runtime.GOMAXPROCS(0)
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
+	if c.Client == nil {
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConns = 256
+		tr.MaxIdleConnsPerHost = 64
+		c.Client = &http.Client{Transport: tr}
+	}
+}
+
+// replica is one upstream address plus the health the poll loop last
+// observed.
+type replica struct {
+	base    string
+	healthy atomic.Bool
+	epoch   atomic.Uint64
+	users   atomic.Int64
+
+	mu      sync.Mutex
+	lastErr string
+}
+
+// shard is one row of the immutable table.
+type shard struct {
+	spec     ShardSpec
+	replicas []*replica
+	cursor   atomic.Uint32 // round-robin start for replica selection
+}
+
+// Router is the scatter-gather serving tier. Construct with New, mount
+// Handler, and Close when done. The shard table is immutable after
+// New; topology changes mean a new router (which starts stateless in
+// milliseconds).
+type Router struct {
+	cfg     Config
+	shards  []*shard
+	ranges  []frh.BucketRange
+	stats   *Stats
+	handler http.Handler
+
+	skewed    atomic.Bool // current skew state (edge-triggers the reload-failure record)
+	healthWG  sync.WaitGroup
+	healthCtx context.Context
+	stop      context.CancelFunc
+}
+
+// New builds a Router over cfg's shard table and starts the health
+// loop. Every shard needs at least one replica; ranges must be valid
+// in the bucket space and sorted by Lo (manifest order).
+func New(cfg Config) (*Router, error) {
+	cfg.setDefaults()
+	if len(cfg.Shards) == 0 {
+		return nil, errors.New("router: need at least one shard")
+	}
+	rt := &Router{cfg: cfg, stats: newStats()}
+	prevLo := uint32(0)
+	for i, spec := range cfg.Shards {
+		if err := spec.Range.Validate(cfg.Buckets); err != nil {
+			return nil, fmt.Errorf("router: shard %d: %w", spec.ID, err)
+		}
+		if spec.Range.Lo < prevLo {
+			return nil, fmt.Errorf("router: shard table not sorted by range at entry %d", i)
+		}
+		prevLo = spec.Range.Lo
+		if len(spec.Replicas) == 0 {
+			return nil, fmt.Errorf("router: shard %d has no replicas", spec.ID)
+		}
+		sh := &shard{spec: spec}
+		for _, addr := range spec.Replicas {
+			rep := &replica{base: addr}
+			rep.healthy.Store(true) // optimistic until the first poll
+			sh.replicas = append(sh.replicas, rep)
+		}
+		rt.shards = append(rt.shards, sh)
+		rt.ranges = append(rt.ranges, spec.Range)
+	}
+
+	// Same hardening chain as the shard daemon (see server.New): the
+	// query surface is observed, shed, body-capped and deadlined; the
+	// operator surface bypasses all of it.
+	observe := middleware.CountStatus(rt.stats.RecordStatus)
+	queryStages := []middleware.Middleware{observe}
+	if cfg.MaxInFlight > 0 {
+		queryStages = append(queryStages,
+			middleware.Shed(cfg.MaxInFlight, cfg.ShedRetryAfter, rt.stats.InFlightGauge(), rt.stats.RecordShed))
+	}
+	queryStages = append(queryStages, middleware.BodyLimit(cfg.MaxBodyBytes, rt.stats.RecordTooLarge))
+	if cfg.RequestTimeout > 0 {
+		queryStages = append(queryStages, middleware.Deadline(cfg.RequestTimeout))
+	}
+	query := func(h http.HandlerFunc) http.Handler { return middleware.Chain(h, queryStages...) }
+
+	mux := http.NewServeMux()
+	mux.Handle("/v1/neighbors", query(func(w http.ResponseWriter, r *http.Request) { rt.serveQuery(w, r, server.EpNeighbors) }))
+	mux.Handle("/v1/topk", query(func(w http.ResponseWriter, r *http.Request) { rt.serveQuery(w, r, server.EpTopK) }))
+	mux.Handle("/v1/recommend", query(func(w http.ResponseWriter, r *http.Request) { rt.serveQuery(w, r, server.EpRecommend) }))
+	mux.HandleFunc("/healthz", rt.serveHealthz)
+	mux.HandleFunc("/statsz", rt.serveStatsz)
+	mux.HandleFunc("/metrics", rt.serveMetrics)
+
+	global := []middleware.Middleware{middleware.RequestID()}
+	if cfg.AccessLogf != nil {
+		global = append(global, middleware.AccessLog(cfg.AccessLogf))
+	}
+	global = append(global, middleware.Recover(cfg.Logf, func() {
+		rt.stats.RecordPanic()
+		rt.stats.RecordStatus(http.StatusInternalServerError)
+	}))
+	rt.handler = middleware.Chain(mux, global...)
+
+	rt.healthCtx, rt.stop = context.WithCancel(context.Background())
+	if cfg.HealthEvery > 0 {
+		rt.healthWG.Add(1)
+		go rt.healthLoop()
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler, wrapped in the hardening
+// middleware stack.
+func (rt *Router) Handler() http.Handler { return rt.handler }
+
+// Stats exposes the router's counters.
+func (rt *Router) Stats() *Stats { return rt.stats }
+
+// Close stops the health loop. In-flight requests are unaffected.
+func (rt *Router) Close() {
+	rt.stop()
+	rt.healthWG.Wait()
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.cfg.Logf != nil {
+		rt.cfg.Logf(format, args...)
+	}
+}
+
+// ---- request handling ----
+
+func (rt *Router) badRequest(w http.ResponseWriter, msg string) {
+	rt.stats.RecordBadRequest()
+	writeJSON(w, http.StatusBadRequest, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func countParam(ep server.Endpoint) string {
+	if ep == server.EpRecommend {
+		return "n"
+	}
+	return "k"
+}
+
+func (rt *Router) serveQuery(w http.ResponseWriter, r *http.Request, ep server.Endpoint) {
+	switch r.Method {
+	case http.MethodGet:
+		rt.serveSingle(w, r, ep)
+	case http.MethodPost:
+		rt.serveBatch(w, r, ep)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "use GET for single queries, POST for batches", http.StatusMethodNotAllowed)
+	}
+}
+
+// serveSingle answers a single-user GET: validate just enough to route,
+// then proxy the owning shard's response verbatim — status, content
+// type and body bytes — so a routed answer is indistinguishable from a
+// direct one. Overlapping ownership (migration) takes the typed merge
+// path; an unreachable shard degrades to an empty fill with the
+// partial header.
+func (rt *Router) serveSingle(w http.ResponseWriter, r *http.Request, ep server.Endpoint) {
+	start := time.Now()
+	q := r.URL.Query()
+	user64, err := strconv.ParseInt(q.Get("user"), 10, 32)
+	if err != nil {
+		rt.badRequest(w, "user must be a 32-bit integer")
+		return
+	}
+	u := int32(user64)
+	owners := frh.OwnersOf(u, rt.cfg.Buckets, rt.ranges, nil)
+	if len(owners) > 1 {
+		rt.serveSingleMerged(w, r, ep, u, owners, start)
+		return
+	}
+	if len(owners) == 0 {
+		// A gap in the table (never the case for a validated manifest):
+		// degrade rather than fail.
+		rt.answerPartialSingle(w, ep, u, 1)
+		rt.stats.RecordQuery(ep, time.Since(start), 1, false, false)
+		return
+	}
+	res, err := rt.fetch(r.Context(), rt.shards[owners[0]], http.MethodGet, r.URL.Path, r.URL.RawQuery, nil, requestID(r))
+	if err != nil {
+		if wroteContextError(w, r, err, rt.stats) {
+			return
+		}
+		rt.stats.RecordPartial()
+		rt.answerPartialSingle(w, ep, u, 1)
+		rt.stats.RecordQuery(ep, time.Since(start), 1, false, false)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+	if res.status == http.StatusOK {
+		rt.stats.RecordQuery(ep, time.Since(start), 1, false, false)
+	}
+}
+
+// serveSingleMerged fetches u's row from every owning shard (the
+// overlap window of a migration) and merges deterministically.
+func (rt *Router) serveSingleMerged(w http.ResponseWriter, r *http.Request, ep server.Endpoint, u int32, owners []int, start time.Time) {
+	count, err := rt.parseCount(r.URL.Query().Get(countParam(ep)))
+	if err != nil {
+		rt.badRequest(w, countParam(ep)+" "+err.Error())
+		return
+	}
+	bodies := make([][]byte, 0, len(owners))
+	for _, o := range owners {
+		res, ferr := rt.fetch(r.Context(), rt.shards[o], http.MethodGet, r.URL.Path, r.URL.RawQuery, nil, requestID(r))
+		if ferr != nil || res.status != http.StatusOK {
+			continue // merge what answered; partial if none did
+		}
+		bodies = append(bodies, res.body)
+	}
+	if len(bodies) == 0 {
+		if err := r.Context().Err(); err != nil && wroteContextError(w, r, err, rt.stats) {
+			return
+		}
+		rt.stats.RecordPartial()
+		rt.answerPartialSingle(w, ep, u, 1)
+		rt.stats.RecordQuery(ep, time.Since(start), 1, false, false)
+		return
+	}
+	out, err := mergeBodies(ep, u, bodies, count)
+	if err != nil {
+		rt.logf("router: merge for user %d: %v", u, err)
+		http.Error(w, "merge failure", http.StatusInternalServerError)
+		return
+	}
+	if len(bodies) < len(owners) {
+		rt.stats.RecordPartial()
+		w.Header().Set(HeaderPartial, "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out)
+	rt.stats.RecordQuery(ep, time.Since(start), 1, false, false)
+}
+
+// parseCount validates an explicit k/n parameter against the router's
+// own bound; 0 means "absent, let the shard apply its default".
+func (rt *Router) parseCount(raw string) (int, error) {
+	if raw == "" {
+		return 0, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("must be a positive integer, got %q", raw)
+	}
+	if v > rt.cfg.MaxResults {
+		return 0, fmt.Errorf("exceeds the maximum of %d", rt.cfg.MaxResults)
+	}
+	return v, nil
+}
+
+// mergeBodies decodes per-shard single-user bodies and re-encodes the
+// deterministic merge.
+func mergeBodies(ep server.Endpoint, u int32, bodies [][]byte, count int) ([]byte, error) {
+	if count == 0 {
+		count = -1 // no explicit bound; merged length is bounded by shard defaults
+	}
+	switch ep {
+	case server.EpNeighbors:
+		rows := make([]neighborsResult, 0, len(bodies))
+		for _, b := range bodies {
+			var row neighborsResult
+			if err := json.Unmarshal(b, &row); err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		return json.Marshal(mergeNeighbors(rows, u, count))
+	case server.EpTopK:
+		rows := make([]topkResult, 0, len(bodies))
+		for _, b := range bodies {
+			var row topkResult
+			if err := json.Unmarshal(b, &row); err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		return json.Marshal(mergeTopK(rows, u, count))
+	default:
+		// Recommendation lists carry no scores to merge by; the first
+		// owner (the user's pre-migration home) answers.
+		return bodies[0], nil
+	}
+}
+
+// answerPartialSingle writes the empty fill for one user: the exact
+// bytes a shard serves for an unknown user, so degraded answers have
+// the same shape as real ones.
+func (rt *Router) answerPartialSingle(w http.ResponseWriter, ep server.Endpoint, u int32, n int) {
+	w.Header().Set(HeaderPartial, strconv.Itoa(n))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(emptyFill(ep, u))
+}
+
+func emptyFill(ep server.Endpoint, u int32) []byte {
+	var v any
+	switch ep {
+	case server.EpNeighbors:
+		v = neighborsResult{User: u, IDs: []int32{}, Sims: []float32{}}
+	case server.EpTopK:
+		v = topkResult{User: u, Neighbors: []neighborJSON{}}
+	default:
+		v = recommendResult{User: u, Items: []int32{}}
+	}
+	b, _ := json.Marshal(v)
+	return b
+}
+
+// serveBatch scatters a batched POST: users are grouped by owning
+// shard, sub-batches fan out concurrently, and the response is
+// stitched from the shards' own per-user result bytes in the caller's
+// order. Shards that cannot be reached contribute empty fills and the
+// partial header instead of failing the request.
+func (rt *Router) serveBatch(w http.ResponseWriter, r *http.Request, ep server.Endpoint) {
+	start := time.Now()
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			rt.stats.RecordTooLarge()
+			w.Header().Set("Connection", "close")
+			writeJSON(w, http.StatusRequestEntityTooLarge, errorResponse{
+				Error: fmt.Sprintf("request body exceeds the %d-byte limit", rt.cfg.MaxBodyBytes)})
+			return
+		}
+		rt.badRequest(w, "invalid JSON body: "+err.Error())
+		return
+	}
+	if len(req.Users) == 0 {
+		rt.badRequest(w, `"users" must be a non-empty array`)
+		return
+	}
+	if len(req.Users) > rt.cfg.MaxBatch {
+		rt.badRequest(w, fmt.Sprintf("batch of %d users exceeds the maximum of %d", len(req.Users), rt.cfg.MaxBatch))
+		return
+	}
+	count := req.K
+	if ep == server.EpRecommend {
+		count = req.N
+	}
+	if count < 0 || count > rt.cfg.MaxResults {
+		rt.badRequest(w, fmt.Sprintf("%s must be in [1, %d]", countParam(ep), rt.cfg.MaxResults))
+		return
+	}
+
+	// Group positions by owning shard. Overlap users (several owners)
+	// are handled one by one through the merge path.
+	type group struct{ users, positions []int32 }
+	groups := make(map[int]*group)
+	var overlapPos []int32
+	var ownerScratch []int
+	for i, u := range req.Users {
+		ownerScratch = frh.OwnersOf(u, rt.cfg.Buckets, rt.ranges, ownerScratch[:0])
+		switch len(ownerScratch) {
+		case 1:
+			g := groups[ownerScratch[0]]
+			if g == nil {
+				g = &group{}
+				groups[ownerScratch[0]] = g
+			}
+			g.users = append(g.users, u)
+			g.positions = append(g.positions, int32(i))
+		default:
+			overlapPos = append(overlapPos, int32(i))
+		}
+	}
+
+	results := make([][]byte, len(req.Users))
+	partial := 0
+	var partialMu sync.Mutex
+	var wg sync.WaitGroup
+	for shardIdx, g := range groups {
+		wg.Add(1)
+		go func(shardIdx int, g *group) {
+			defer wg.Done()
+			raws, err := rt.fetchSubBatch(r.Context(), rt.shards[shardIdx], r.URL.Path, g.users, ep, count, requestID(r))
+			if err != nil {
+				rt.logf("router: shard %d unreachable for %d users: %v", rt.shards[shardIdx].spec.ID, len(g.users), err)
+				partialMu.Lock()
+				partial += len(g.users)
+				partialMu.Unlock()
+				for j, pos := range g.positions {
+					results[pos] = emptyFill(ep, g.users[j])
+				}
+				return
+			}
+			for j, pos := range g.positions {
+				results[pos] = raws[j]
+			}
+		}(shardIdx, g)
+	}
+	for _, pos := range overlapPos {
+		wg.Add(1)
+		go func(pos int32) {
+			defer wg.Done()
+			u := req.Users[pos]
+			owners := frh.OwnersOf(u, rt.cfg.Buckets, rt.ranges, nil)
+			body, degraded := rt.mergedUser(r.Context(), ep, u, owners, count, requestID(r))
+			results[pos] = body
+			if degraded {
+				partialMu.Lock()
+				partial++
+				partialMu.Unlock()
+			}
+		}(pos)
+	}
+	wg.Wait()
+
+	if err := r.Context().Err(); err != nil && partial > 0 {
+		// The degradation was the router's own deadline, not a shard
+		// failure: honor the hardening contract and refuse.
+		if wroteContextError(w, r, err, rt.stats) {
+			return
+		}
+	}
+
+	// Stitch: the shards marshaled each element exactly as a single
+	// snapshot would; concatenation in request order reproduces the
+	// single-process body byte for byte.
+	var buf bytes.Buffer
+	buf.Grow(16 + len(results)*64)
+	buf.WriteString(`{"results":[`)
+	for i, raw := range results {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(raw)
+	}
+	buf.WriteString("]}")
+	if partial > 0 {
+		rt.stats.RecordPartial()
+		w.Header().Set(HeaderPartial, strconv.Itoa(partial))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	buf.WriteTo(w)
+	rt.stats.RecordQuery(ep, time.Since(start), len(req.Users), true, false)
+}
+
+// mergedUser answers one overlap user for the batch path; degraded is
+// true when not every owner contributed.
+func (rt *Router) mergedUser(ctx context.Context, ep server.Endpoint, u int32, owners []int, count int, rid string) (body []byte, degraded bool) {
+	var bodies [][]byte
+	for _, o := range owners {
+		raws, err := rt.fetchSubBatch(ctx, rt.shards[o], "/v1/"+ep.String(), []int32{u}, ep, count, rid)
+		if err != nil {
+			continue
+		}
+		bodies = append(bodies, raws[0])
+	}
+	if len(bodies) == 0 {
+		return emptyFill(ep, u), true
+	}
+	out, err := mergeBodies(ep, u, bodies, count)
+	if err != nil {
+		return emptyFill(ep, u), true
+	}
+	return out, len(bodies) < len(owners)
+}
+
+// batchEnvelope decodes a shard's batch response without touching the
+// per-user payloads.
+type batchEnvelope struct {
+	Results []json.RawMessage `json:"results"`
+}
+
+// fetchSubBatch POSTs one shard's sub-batch and returns the per-user
+// raw result bytes in the order of users.
+func (rt *Router) fetchSubBatch(ctx context.Context, sh *shard, path string, users []int32, ep server.Endpoint, count int, rid string) ([]json.RawMessage, error) {
+	sub := batchRequest{Users: users}
+	if ep == server.EpRecommend {
+		sub.N = count
+	} else {
+		sub.K = count
+	}
+	body, err := json.Marshal(sub)
+	if err != nil {
+		return nil, err
+	}
+	res, err := rt.fetch(ctx, sh, http.MethodPost, path, "", body, rid)
+	if err != nil {
+		return nil, err
+	}
+	if res.status != http.StatusOK {
+		return nil, fmt.Errorf("shard %d answered %d: %s", sh.spec.ID, res.status, truncate(res.body, 200))
+	}
+	var env batchEnvelope
+	if err := json.Unmarshal(res.body, &env); err != nil {
+		return nil, fmt.Errorf("shard %d batch response: %w", sh.spec.ID, err)
+	}
+	if len(env.Results) != len(users) {
+		return nil, fmt.Errorf("shard %d returned %d results for %d users", sh.spec.ID, len(env.Results), len(users))
+	}
+	return env.Results, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}
+
+// ---- upstream fetch: replica selection, failover, hedging ----
+
+type upstreamResult struct {
+	status int
+	body   []byte
+}
+
+func requestID(r *http.Request) string {
+	return middleware.GetRequestID(r.Context())
+}
+
+// wroteContextError maps the router's own deadline/cancellation onto
+// the wire the way the shard tier does (503 / silent drop); returns
+// false for other errors.
+func wroteContextError(w http.ResponseWriter, r *http.Request, err error, st *Stats) bool {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() != nil:
+		st.RecordTimeout()
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "request deadline expired"})
+		return true
+	case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+		return true
+	}
+	return false
+}
+
+// fetch issues one logical upstream request to sh with failover and
+// hedging: replicas are tried healthy-first in round-robin order; a
+// failed try (transport error or 5xx) immediately launches the next
+// replica; a try that is merely slow launches a hedge after
+// Config.HedgeAfter. The first 2xx–4xx response wins. Every try is a
+// fan-out latency observation.
+func (rt *Router) fetch(ctx context.Context, sh *shard, method, path, rawQuery string, body []byte, rid string) (*upstreamResult, error) {
+	order := rt.replicaOrder(sh)
+	results := make(chan error, len(order))
+	var winner atomic.Pointer[upstreamResult]
+	tryCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	launched := 0
+	launch := func() {
+		rep := order[launched]
+		launched++
+		go func() {
+			res, err := rt.tryOne(tryCtx, rep, method, path, rawQuery, body, rid)
+			if err == nil {
+				winner.CompareAndSwap(nil, res)
+			}
+			results <- err
+		}()
+	}
+
+	launch()
+	var hedgeC <-chan time.Time
+	if rt.cfg.HedgeAfter > 0 && len(order) > 1 {
+		t := time.NewTimer(rt.cfg.HedgeAfter)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	fails := 0
+	var lastErr error
+	for {
+		select {
+		case err := <-results:
+			if err == nil {
+				return winner.Load(), nil
+			}
+			lastErr = err
+			rt.stats.upstreamErrs.Add(1)
+			fails++
+			if launched < len(order) {
+				rt.stats.failovers.Add(1)
+				launch()
+			} else if fails == launched {
+				return nil, lastErr
+			}
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(order) {
+				rt.stats.hedges.Add(1)
+				launch()
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// replicaOrder returns sh's replicas healthy-first, rotated by the
+// round-robin cursor so load spreads across replicas.
+func (rt *Router) replicaOrder(sh *shard) []*replica {
+	n := len(sh.replicas)
+	start := int(sh.cursor.Add(1)-1) % n
+	order := make([]*replica, 0, n)
+	var sick []*replica
+	for i := 0; i < n; i++ {
+		rep := sh.replicas[(start+i)%n]
+		if rep.healthy.Load() {
+			order = append(order, rep)
+		} else {
+			sick = append(sick, rep)
+		}
+	}
+	return append(order, sick...) // sick replicas are last resorts, not excluded
+}
+
+// tryOne performs one HTTP try against one replica within the upstream
+// timeout. 5xx and transport failures are errors (the caller fails
+// over); anything else is a result to proxy.
+func (rt *Router) tryOne(ctx context.Context, rep *replica, method, path, rawQuery string, body []byte, rid string) (*upstreamResult, error) {
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.UpstreamTimeout)
+	defer cancel()
+	url := rep.base + path
+	if rawQuery != "" {
+		url += "?" + rawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if rid != "" {
+		req.Header.Set(middleware.HeaderRequestID, rid)
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	if err != nil {
+		rt.noteReplicaError(rep, err)
+		rt.stats.Fanout.Record(time.Since(start))
+		return nil, fmt.Errorf("replica %s: %w", rep.base, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	rt.stats.Fanout.Record(time.Since(start))
+	if err != nil {
+		rt.noteReplicaError(rep, err)
+		return nil, fmt.Errorf("replica %s: read: %w", rep.base, err)
+	}
+	if resp.StatusCode >= 500 {
+		return nil, fmt.Errorf("replica %s: status %d", rep.base, resp.StatusCode)
+	}
+	return &upstreamResult{status: resp.StatusCode, body: b}, nil
+}
+
+// noteReplicaError marks rep unhealthy (the health loop restores it)
+// and remembers the error for /statsz.
+func (rt *Router) noteReplicaError(rep *replica, err error) {
+	if errors.Is(err, context.Canceled) {
+		return // a lost hedge race, not a sick replica
+	}
+	rep.healthy.Store(false)
+	rep.mu.Lock()
+	rep.lastErr = err.Error()
+	rep.mu.Unlock()
+}

@@ -1,0 +1,493 @@
+package router
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"c2knn"
+	"c2knn/internal/frh"
+	"c2knn/internal/server"
+)
+
+func testIndex(tb testing.TB) *c2knn.Index {
+	tb.Helper()
+	d, err := c2knn.Generate("ml1M", 0.03)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim, err := c2knn.NewGoldFinger(d, 256)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g, _ := c2knn.BuildC2(d, sim, c2knn.BuildOptions{K: 8, Workers: 2, Seed: 7})
+	ix, err := c2knn.NewIndex(g, d, sim)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return ix
+}
+
+// startShard serves ix as one shard replica.
+func startShard(tb testing.TB, ix *c2knn.Index) (*server.Server, *httptest.Server) {
+	tb.Helper()
+	s, err := server.New(ix, server.Config{CacheEntries: -1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	tb.Cleanup(ts.Close)
+	return s, ts
+}
+
+func newRouter(tb testing.TB, cfg Config) *Router {
+	tb.Helper()
+	cfg.HealthEvery = -1 // tests poll explicitly
+	rt, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(rt.Close)
+	return rt
+}
+
+func get(tb testing.TB, h http.Handler, path string) (int, http.Header, []byte) {
+	tb.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Header(), rec.Body.Bytes()
+}
+
+func post(tb testing.TB, h http.Handler, path, body string) (int, http.Header, []byte) {
+	tb.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Header(), rec.Body.Bytes()
+}
+
+// TestRoutedByteIdentity is the merge-determinism acceptance test: a
+// router over a 1-shard layout must answer byte-identically to (a) the
+// direct single-snapshot server and (b) JSON marshaled straight from
+// the c2knn.Index — on every endpoint, single and batched, including
+// error responses.
+func TestRoutedByteIdentity(t *testing.T) {
+	ix := testIndex(t)
+	_, direct := startShard(t, ix)
+	_, shardSrv := startShard(t, ix)
+	rt := newRouter(t, Config{
+		Shards: []ShardSpec{{ID: 0, Range: frh.BucketRange{Lo: 1, Hi: frh.DefaultShardBuckets}, Replicas: []string{shardSrv.URL}}},
+	})
+
+	users := []int32{0, 1, 7, 41, 500, 1<<30 - 1} // incl. out-of-range
+	paths := []string{
+		"/v1/neighbors?user=%d", "/v1/neighbors?user=%d&k=3",
+		"/v1/topk?user=%d&k=5", "/v1/recommend?user=%d&n=10",
+		"/v1/neighbors?user=%d&k=0",    // 400 from the shard, proxied
+		"/v1/recommend?user=%d&n=9999", // over MaxResults: 400
+	}
+	for _, u := range users {
+		for _, p := range paths {
+			path := fmt.Sprintf(p, u)
+			wantResp, err := http.Get(direct.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := io.ReadAll(wantResp.Body)
+			wantResp.Body.Close()
+			code, _, got := get(t, rt.Handler(), path)
+			if code != wantResp.StatusCode {
+				t.Fatalf("%s: routed status %d, direct %d", path, code, wantResp.StatusCode)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: routed body differs\nrouted: %s\ndirect: %s", path, got, want)
+			}
+		}
+	}
+
+	// Batched POST, order preserved.
+	body := `{"users":[41,0,7,500,1],"k":4}`
+	wantResp, err := http.Post(direct.URL+"/v1/neighbors", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(wantResp.Body)
+	wantResp.Body.Close()
+	code, hdr, got := get2(t, rt.Handler(), "/v1/neighbors", body)
+	if code != 200 || !bytes.Equal(got, want) {
+		t.Fatalf("batch: status %d\nrouted: %s\ndirect: %s", code, got, want)
+	}
+	if hdr.Get(HeaderPartial) != "" {
+		t.Fatal("healthy routed batch flagged partial")
+	}
+
+	// Against the index directly: the router's mirrored wire structs
+	// must marshal exactly what the server marshals.
+	u := int32(41)
+	ids, sims := ix.Neighbors(u)
+	wantJSON, _ := json.Marshal(neighborsResult{User: u, IDs: ids, Sims: sims})
+	code, _, got = get(t, rt.Handler(), fmt.Sprintf("/v1/neighbors?user=%d", u))
+	if code != 200 || !bytes.Equal(bytes.TrimRight(got, "\n"), wantJSON) {
+		t.Fatalf("routed vs index: %s vs %s", got, wantJSON)
+	}
+}
+
+func get2(tb testing.TB, h http.Handler, path, body string) (int, http.Header, []byte) {
+	return post(tb, h, path, body)
+}
+
+// TestRoutedTwoShards proves the scatter-gather path: a 2-shard router
+// must still answer byte-identically to one process over the whole
+// snapshot, for singles and for batches spanning both shards.
+func TestRoutedTwoShards(t *testing.T) {
+	ix := testIndex(t)
+	_, direct := startShard(t, ix)
+	ranges := frh.PartitionBuckets(frh.DefaultShardBuckets, 2)
+	parts, users, err := c2knn.PartitionIndex(ix, frh.DefaultShardBuckets, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if users[0]+users[1] != ix.NumUsers() {
+		t.Fatalf("partition lost users: %v vs %d", users, ix.NumUsers())
+	}
+	_, s0 := startShard(t, parts[0])
+	_, s1 := startShard(t, parts[1])
+	rt := newRouter(t, Config{Shards: []ShardSpec{
+		{ID: 0, Range: ranges[0], Replicas: []string{s0.URL}},
+		{ID: 1, Range: ranges[1], Replicas: []string{s1.URL}},
+	}})
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		us := make([]int32, n)
+		for i := range us {
+			us[i] = int32(rng.Intn(ix.NumUsers() + 50))
+		}
+		for _, ep := range []string{"neighbors", "topk", "recommend"} {
+			req, _ := json.Marshal(map[string]any{"users": us, "k": 6})
+			if ep == "recommend" {
+				req, _ = json.Marshal(map[string]any{"users": us, "n": 12})
+			}
+			wantResp, err := http.Post(direct.URL+"/v1/"+ep, "application/json", bytes.NewReader(req))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := io.ReadAll(wantResp.Body)
+			wantResp.Body.Close()
+			code, hdr, got := post(t, rt.Handler(), "/v1/"+ep, string(req))
+			if code != 200 {
+				t.Fatalf("%s: routed status %d: %s", ep, code, got)
+			}
+			if hdr.Get(HeaderPartial) != "" {
+				t.Fatalf("%s: healthy 2-shard batch flagged partial", ep)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s trial %d: routed body differs from single-process\nrouted: %.200s\ndirect: %.200s", ep, trial, got, want)
+			}
+		}
+		// And a few singles.
+		u := us[0]
+		for _, p := range []string{"/v1/neighbors?user=%d&k=5", "/v1/topk?user=%d", "/v1/recommend?user=%d&n=7"} {
+			path := fmt.Sprintf(p, u)
+			wantResp, err := http.Get(direct.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := io.ReadAll(wantResp.Body)
+			wantResp.Body.Close()
+			if _, _, got := get(t, rt.Handler(), path); !bytes.Equal(got, want) {
+				t.Fatalf("%s: routed single differs\nrouted: %s\ndirect: %s", path, got, want)
+			}
+		}
+	}
+}
+
+// TestFailoverAndPartial: with two replicas, killing one must be
+// invisible (failover); killing both must degrade to empty fills with
+// the partial header — never a failed request.
+func TestFailoverAndPartial(t *testing.T) {
+	ix := testIndex(t)
+	_, live := startShard(t, ix)
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "shard down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(dead.Close)
+	full := frh.BucketRange{Lo: 1, Hi: frh.DefaultShardBuckets}
+	rt := newRouter(t, Config{
+		HedgeAfter: -1,
+		Shards:     []ShardSpec{{ID: 0, Range: full, Replicas: []string{dead.URL, live.URL}}},
+	})
+
+	// Every request must succeed despite the 500ing replica being first
+	// in some rotations.
+	for i := 0; i < 8; i++ {
+		code, hdr, body := get(t, rt.Handler(), "/v1/neighbors?user=3")
+		if code != 200 || hdr.Get(HeaderPartial) != "" {
+			t.Fatalf("try %d: status %d partial=%q body=%s", i, code, hdr.Get(HeaderPartial), body)
+		}
+	}
+	if rt.Stats().failovers.Load() == 0 {
+		t.Fatal("no failovers recorded despite a dead replica")
+	}
+
+	// All replicas dead: 200 + partial + the exact empty fill.
+	rtDead := newRouter(t, Config{
+		HedgeAfter: -1, UpstreamTimeout: 200 * time.Millisecond,
+		Shards: []ShardSpec{{ID: 0, Range: full, Replicas: []string{dead.URL}}},
+	})
+	code, hdr, body := get(t, rtDead.Handler(), "/v1/topk?user=5")
+	if code != 200 {
+		t.Fatalf("dead shard must degrade, got status %d: %s", code, body)
+	}
+	if hdr.Get(HeaderPartial) != "1" {
+		t.Fatalf("partial header = %q, want 1", hdr.Get(HeaderPartial))
+	}
+	if want := `{"user":5,"neighbors":[]}`; strings.TrimRight(string(body), "\n") != want {
+		t.Fatalf("degraded fill = %s, want %s", body, want)
+	}
+	code, hdr, body = post(t, rtDead.Handler(), "/v1/recommend", `{"users":[1,2,3],"n":5}`)
+	if code != 200 || hdr.Get(HeaderPartial) != "3" {
+		t.Fatalf("degraded batch: status %d partial=%q body=%s", code, hdr.Get(HeaderPartial), body)
+	}
+	var env struct {
+		Results []recommendResult `json:"results"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || len(env.Results) != 3 {
+		t.Fatalf("degraded batch body malformed: %s (%v)", body, err)
+	}
+	for i, r := range env.Results {
+		if r.User != int32(i+1) || len(r.Items) != 0 {
+			t.Fatalf("degraded batch result %d = %+v", i, r)
+		}
+	}
+	if rtDead.Stats().partials.Load() != 2 {
+		t.Fatalf("partials counter = %d, want 2", rtDead.Stats().partials.Load())
+	}
+}
+
+// TestHedging: a stalled replica must not stall the request — the
+// hedge fires and the fast replica answers.
+func TestHedging(t *testing.T) {
+	ix := testIndex(t)
+	_, fast := startShard(t, ix)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Second)
+		http.Error(w, "too slow", http.StatusInternalServerError)
+	}))
+	t.Cleanup(slow.Close)
+	rt := newRouter(t, Config{
+		HedgeAfter: 30 * time.Millisecond, UpstreamTimeout: 5 * time.Second,
+		Shards: []ShardSpec{{ID: 0, Range: frh.BucketRange{Lo: 1, Hi: frh.DefaultShardBuckets},
+			Replicas: []string{slow.URL, fast.URL}}},
+	})
+	start := time.Now()
+	code, _, body := get(t, rt.Handler(), "/v1/neighbors?user=1")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hedge did not rescue the request: took %v", d)
+	}
+	if rt.Stats().hedges.Load() == 0 {
+		t.Fatal("no hedged try recorded")
+	}
+}
+
+// TestEpochSkewSurfaced is the regression test for the degradation
+// satellite: a replica stuck on an old epoch after a hot swap must
+// surface on /statsz — both in the per-shard health and through the
+// RecordReloadFailure plumbing (kind "epoch-skew").
+func TestEpochSkewSurfaced(t *testing.T) {
+	ix := testIndex(t)
+	srvA, repA := startShard(t, ix)
+	_, repB := startShard(t, ix)
+	rt := newRouter(t, Config{
+		Shards: []ShardSpec{{ID: 0, Range: frh.BucketRange{Lo: 1, Hi: frh.DefaultShardBuckets},
+			Replicas: []string{repA.URL, repB.URL}}},
+	})
+	rt.PollHealth()
+	if sec := rt.routerSection(); sec.EpochSkew {
+		t.Fatal("skew reported before any swap")
+	}
+
+	// Hot-swap replica A only: B is now stuck on epoch 1.
+	srvA.Swap(ix)
+	rt.PollHealth()
+	sec := rt.routerSection()
+	if !sec.EpochSkew || !sec.Shards[0].EpochSkew {
+		t.Fatalf("epoch skew not surfaced: %+v", sec)
+	}
+	if sec.EpochMin != 1 || sec.EpochMax != 2 {
+		t.Fatalf("epoch bounds [%d, %d], want [1, 2]", sec.EpochMin, sec.EpochMax)
+	}
+	snap := rt.Stats().Snapshot()
+	if snap.ReloadFailures != 1 || snap.LastReloadKind != "epoch-skew" {
+		t.Fatalf("skew not routed through reload-failure plumbing: failures=%d kind=%q",
+			snap.ReloadFailures, snap.LastReloadKind)
+	}
+	// Polling again while still skewed must not re-count the incident.
+	rt.PollHealth()
+	if n := rt.Stats().Snapshot().ReloadFailures; n != 1 {
+		t.Fatalf("skew incident double-counted: %d", n)
+	}
+	// /statsz carries the router section on the wire.
+	code, _, body := get(t, rt.Handler(), "/statsz")
+	if code != 200 || !bytes.Contains(body, []byte(`"epoch_skew":true`)) {
+		t.Fatalf("statsz does not surface skew: %d %s", code, body)
+	}
+	// Convergence clears the sticky bit so the NEXT incident records.
+	srvA.Swap(ix) // A at 3, B still 1: still skewed, but sticky
+	rt.PollHealth()
+	if n := rt.Stats().Snapshot().ReloadFailures; n != 1 {
+		t.Fatalf("still-skewed poll re-counted: %d", n)
+	}
+}
+
+// TestMergeDeterminism: splitting one user's edges across fake shards
+// and merging must reproduce the canonical frozen ordering exactly,
+// including float32 tie-breaks by ascending id and overlap dedup.
+func TestMergeDeterminism(t *testing.T) {
+	full := neighborsResult{User: 9,
+		IDs:  []int32{4, 11, 2, 30, 7},
+		Sims: []float32{0.9, 0.7, 0.7, 0.5, 0.3},
+	}
+	// Shard rows: interleaved, with an overlap duplicate (id 2).
+	a := neighborsResult{User: 9, IDs: []int32{11, 30}, Sims: []float32{0.7, 0.5}}
+	b := neighborsResult{User: 9, IDs: []int32{4, 2, 7}, Sims: []float32{0.9, 0.7, 0.3}}
+	c := neighborsResult{User: 9, IDs: []int32{2}, Sims: []float32{0.7}} // overlap copy
+	for _, order := range [][]neighborsResult{{a, b, c}, {c, b, a}, {b, c, a}} {
+		got := mergeNeighbors(order, 9, -1)
+		// Ties (0.7) break by ascending id: 2 before 11.
+		wantIDs := []int32{4, 2, 11, 30, 7}
+		gj, _ := json.Marshal(got.IDs)
+		wj, _ := json.Marshal(wantIDs)
+		if !bytes.Equal(gj, wj) {
+			t.Fatalf("merge order %v, want %v", got.IDs, wantIDs)
+		}
+	}
+	if got := mergeNeighbors([]neighborsResult{a, b}, 9, 2); len(got.IDs) != 2 {
+		t.Fatalf("k truncation failed: %v", got.IDs)
+	}
+	_ = full
+
+	// topk: float64 wire values that collide only after float32
+	// narrowing must still tie-break by id (the frozen graph's rule).
+	x := topkResult{User: 1, Neighbors: []neighborJSON{{ID: 8, Sim: 0.30000001}}}
+	y := topkResult{User: 1, Neighbors: []neighborJSON{{ID: 3, Sim: 0.30000002}}}
+	got := mergeTopK([]topkResult{x, y}, 1, -1)
+	if got.Neighbors[0].ID != 3 || got.Neighbors[1].ID != 8 {
+		t.Fatalf("narrowed tie-break failed: %+v", got.Neighbors)
+	}
+}
+
+// TestOverlapMigration: with overlapping ranges (a resharding window),
+// answers must come back merged and deduplicated from both owners.
+func TestOverlapMigration(t *testing.T) {
+	ix := testIndex(t)
+	// Both "shards" serve the full index: the overlap window sees the
+	// same rows twice and must dedup to the single-snapshot answer.
+	_, s0 := startShard(t, ix)
+	_, s1 := startShard(t, ix)
+	_, direct := startShard(t, ix)
+	half := uint32(frh.DefaultShardBuckets / 2)
+	rt := newRouter(t, Config{Shards: []ShardSpec{
+		{ID: 0, Range: frh.BucketRange{Lo: 1, Hi: half + 200}, Replicas: []string{s0.URL}},
+		{ID: 1, Range: frh.BucketRange{Lo: half - 200, Hi: frh.DefaultShardBuckets}, Replicas: []string{s1.URL}},
+	}})
+	// Find a user inside the overlap window.
+	var u int32 = -1
+	for cand := int32(0); cand < int32(ix.NumUsers()); cand++ {
+		key := frh.ShardKey(cand, frh.DefaultShardBuckets)
+		if key >= half-200 && key <= half+200 {
+			u = cand
+			break
+		}
+	}
+	if u < 0 {
+		t.Fatal("no user in the overlap window")
+	}
+	path := fmt.Sprintf("/v1/neighbors?user=%d&k=5", u)
+	wantResp, err := http.Get(direct.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := io.ReadAll(wantResp.Body)
+	wantResp.Body.Close()
+	code, _, got := get(t, rt.Handler(), path)
+	if code != 200 {
+		t.Fatalf("overlap single: status %d: %s", code, got)
+	}
+	if !bytes.Equal(bytes.TrimRight(got, "\n"), bytes.TrimRight(want, "\n")) {
+		t.Fatalf("overlap merge differs from single snapshot\nrouted: %s\ndirect: %s", got, want)
+	}
+	// Batch with the overlap user in the middle.
+	body := fmt.Sprintf(`{"users":[0,%d,1],"k":5}`, u)
+	code, _, got = post(t, rt.Handler(), "/v1/neighbors", body)
+	if code != 200 {
+		t.Fatalf("overlap batch: status %d: %s", code, got)
+	}
+	var env struct {
+		Results []neighborsResult `json:"results"`
+	}
+	if err := json.Unmarshal(got, &env); err != nil || len(env.Results) != 3 {
+		t.Fatalf("overlap batch malformed: %s (%v)", got, err)
+	}
+	if env.Results[1].User != u {
+		t.Fatalf("overlap batch order broken: %+v", env.Results[1])
+	}
+	wantIDs, _ := ix.Neighbors(u)
+	if k := 5; len(wantIDs) > k {
+		wantIDs = wantIDs[:k]
+	}
+	gj, _ := json.Marshal(env.Results[1].IDs)
+	wj, _ := json.Marshal(wantIDs)
+	if !bytes.Equal(gj, wj) {
+		t.Fatalf("overlap batch ids %v, want %v", env.Results[1].IDs, wantIDs)
+	}
+}
+
+// TestRouterValidation: malformed requests are refused at the router
+// without touching any shard.
+func TestRouterValidation(t *testing.T) {
+	// No shard server at all: validation failures must never fan out.
+	rt := newRouter(t, Config{
+		Shards: []ShardSpec{{ID: 0, Range: frh.BucketRange{Lo: 1, Hi: frh.DefaultShardBuckets},
+			Replicas: []string{"http://127.0.0.1:1"}}},
+	})
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodGet, "/v1/neighbors?user=notanint", "", 400},
+		{http.MethodPost, "/v1/neighbors", `{"users":[]}`, 400},
+		{http.MethodPost, "/v1/topk", `not json`, 400},
+		{http.MethodPost, "/v1/recommend", `{"users":[1],"n":100000}`, 400},
+		{http.MethodDelete, "/v1/neighbors", "", 405},
+	} {
+		var code int
+		if tc.method == http.MethodGet {
+			code, _, _ = get(t, rt.Handler(), tc.path)
+		} else {
+			req := httptest.NewRequest(tc.method, tc.path, strings.NewReader(tc.body))
+			rec := httptest.NewRecorder()
+			rt.Handler().ServeHTTP(rec, req)
+			code = rec.Code
+		}
+		if code != tc.want {
+			t.Fatalf("%s %s: status %d, want %d", tc.method, tc.path, code, tc.want)
+		}
+	}
+	if rt.Stats().upstreamErrs.Load() != 0 {
+		t.Fatal("validation failures reached the upstream path")
+	}
+}

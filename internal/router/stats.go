@@ -1,0 +1,210 @@
+package router
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"c2knn/internal/server"
+)
+
+// Stats extends the shard daemon's counters with the router's own:
+// fan-out latency (one observation per upstream try), hedged and
+// failed-over tries, upstream errors, and partial responses. Embedding
+// *server.Stats means the middleware stack, /statsz and /metrics reuse
+// the exact accounting — and metric names — operators already know
+// from the shard tier.
+type Stats struct {
+	*server.Stats
+
+	// Fanout observes every upstream try's latency (hedges and
+	// failovers included), in the same HDR layout as request latency so
+	// the two are directly comparable.
+	Fanout server.LatencyHist
+
+	partials     atomic.Uint64 // responses answered degraded (X-C2-Partial)
+	hedges       atomic.Uint64 // tries launched by the hedge timer
+	failovers    atomic.Uint64 // tries launched because an earlier one failed
+	upstreamErrs atomic.Uint64 // tries that failed (transport or 5xx)
+}
+
+func newStats() *Stats { return &Stats{Stats: server.NewStats()} }
+
+// RecordPartial accounts one request answered with degraded (partial)
+// results instead of an error.
+func (st *Stats) RecordPartial() { st.partials.Add(1) }
+
+// ReplicaStatus is one upstream replica's health as the poll loop last
+// saw it.
+type ReplicaStatus struct {
+	Addr      string `json:"addr"`
+	Healthy   bool   `json:"healthy"`
+	Epoch     uint64 `json:"epoch"`
+	Users     int    `json:"users"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ShardStatus is one shard's view in the router /statsz: its bucket
+// range, replicas, and whether its replicas disagree about the serving
+// epoch (one stuck on an old snapshot after a hot swap).
+type ShardStatus struct {
+	ID        int             `json:"id"`
+	Lo        uint32          `json:"lo"`
+	Hi        uint32          `json:"hi"`
+	Replicas  []ReplicaStatus `json:"replicas"`
+	EpochSkew bool            `json:"epoch_skew"`
+}
+
+// routerSection is the router-specific block of /statsz.
+type routerSection struct {
+	Shards         []ShardStatus `json:"shards"`
+	Partials       uint64        `json:"partial_responses"`
+	Hedges         uint64        `json:"hedged_tries"`
+	Failovers      uint64        `json:"failover_tries"`
+	UpstreamErrors uint64        `json:"upstream_errors"`
+	FanoutP50      float64       `json:"fanout_p50_us"`
+	FanoutP99      float64       `json:"fanout_p99_us"`
+	EpochSkew      bool          `json:"epoch_skew"`
+	EpochMin       uint64        `json:"epoch_min"`
+	EpochMax       uint64        `json:"epoch_max"`
+}
+
+// statszResponse embeds the shard-tier snapshot (flattened into the
+// same JSON keys /statsz has always had) plus the router section.
+type statszResponse struct {
+	server.Snapshot
+	Router routerSection `json:"router"`
+}
+
+func (rt *Router) serveStatsz(w http.ResponseWriter, r *http.Request) {
+	resp := statszResponse{Snapshot: rt.stats.Snapshot(), Router: rt.routerSection()}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (rt *Router) routerSection() routerSection {
+	sec := routerSection{
+		Partials:       rt.stats.partials.Load(),
+		Hedges:         rt.stats.hedges.Load(),
+		Failovers:      rt.stats.failovers.Load(),
+		UpstreamErrors: rt.stats.upstreamErrs.Load(),
+		FanoutP50:      rt.stats.Fanout.Percentile(0.50),
+		FanoutP99:      rt.stats.Fanout.Percentile(0.99),
+	}
+	first := true
+	for _, sh := range rt.shards {
+		ss := ShardStatus{ID: sh.spec.ID, Lo: sh.spec.Range.Lo, Hi: sh.spec.Range.Hi}
+		var lo, hi uint64
+		seen := false
+		for _, rep := range sh.replicas {
+			rs := ReplicaStatus{
+				Addr:    rep.base,
+				Healthy: rep.healthy.Load(),
+				Epoch:   rep.epoch.Load(),
+				Users:   int(rep.users.Load()),
+			}
+			rep.mu.Lock()
+			rs.LastError = rep.lastErr
+			rep.mu.Unlock()
+			ss.Replicas = append(ss.Replicas, rs)
+			if rs.Healthy && rs.Epoch > 0 {
+				if !seen || rs.Epoch < lo {
+					lo = rs.Epoch
+				}
+				if !seen || rs.Epoch > hi {
+					hi = rs.Epoch
+				}
+				seen = true
+			}
+		}
+		ss.EpochSkew = seen && lo != hi
+		if ss.EpochSkew {
+			sec.EpochSkew = true
+		}
+		if seen {
+			if first || lo < sec.EpochMin {
+				sec.EpochMin = lo
+			}
+			if first || hi > sec.EpochMax {
+				sec.EpochMax = hi
+			}
+			first = false
+		}
+		sec.Shards = append(sec.Shards, ss)
+	}
+	return sec
+}
+
+// serveMetrics writes the router's Prometheus exposition: the shared
+// request counters under the shard tier's names (same stack, same
+// semantics) plus c2_router_* series for fan-out behavior.
+func (rt *Router) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := rt.stats.Snapshot()
+	sec := rt.routerSection()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	counter := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	gauge := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+
+	counter("c2_requests_total", "Successfully answered query requests by endpoint.")
+	for ep, n := range snap.ByEndpoint {
+		fmt.Fprintf(w, "c2_requests_total{endpoint=%q} %d\n", ep, n)
+	}
+	counter("c2_responses_total", "Responses on the query and admin surfaces by status code.")
+	for code, n := range snap.ByStatus {
+		fmt.Fprintf(w, "c2_responses_total{code=%q} %d\n", code, n)
+	}
+	counter("c2_bad_requests_total", "Requests rejected before any shard was asked (400).")
+	fmt.Fprintf(w, "c2_bad_requests_total %d\n", snap.BadRequests)
+	counter("c2_panics_total", "Handler panics recovered into 500 responses.")
+	fmt.Fprintf(w, "c2_panics_total %d\n", snap.Panics)
+	counter("c2_shed_total", "Requests refused with 429 by admission control.")
+	fmt.Fprintf(w, "c2_shed_total %d\n", snap.Shed)
+	counter("c2_deadline_expired_total", "Requests whose per-request deadline expired (503).")
+	fmt.Fprintf(w, "c2_deadline_expired_total %d\n", snap.DeadlineExpired)
+	gauge("c2_inflight_requests", "Requests currently inside the admission-control stage.")
+	fmt.Fprintf(w, "c2_inflight_requests %d\n", snap.InFlight)
+	counter("c2_reload_failures_total", "Degradations surfaced through reload-failure plumbing (incl. epoch skew).")
+	fmt.Fprintf(w, "c2_reload_failures_total %d\n", snap.ReloadFailures)
+	gauge("c2_uptime_seconds", "Seconds since the router started.")
+	fmt.Fprintf(w, "c2_uptime_seconds %.3f\n", snap.UptimeSec)
+
+	counter("c2_router_partial_responses_total", "Requests answered with partial (degraded) results.")
+	fmt.Fprintf(w, "c2_router_partial_responses_total %d\n", sec.Partials)
+	counter("c2_router_hedged_tries_total", "Upstream tries launched by the hedge timer.")
+	fmt.Fprintf(w, "c2_router_hedged_tries_total %d\n", sec.Hedges)
+	counter("c2_router_failover_tries_total", "Upstream tries launched after an earlier try failed.")
+	fmt.Fprintf(w, "c2_router_failover_tries_total %d\n", sec.Failovers)
+	counter("c2_router_upstream_errors_total", "Upstream tries that failed (transport error or 5xx).")
+	fmt.Fprintf(w, "c2_router_upstream_errors_total %d\n", sec.UpstreamErrors)
+	gauge("c2_router_epoch_skew", "1 when replicas of some shard disagree about the serving epoch.")
+	skew := 0
+	if sec.EpochSkew {
+		skew = 1
+	}
+	fmt.Fprintf(w, "c2_router_epoch_skew %d\n", skew)
+	for _, ss := range sec.Shards {
+		healthy := 0
+		for _, rep := range ss.Replicas {
+			if rep.Healthy {
+				healthy++
+			}
+		}
+		fmt.Fprintf(w, "c2_router_shard_replicas_healthy{shard=\"%d\"} %d\n", ss.ID, healthy)
+	}
+
+	// Fan-out latency histogram (one observation per upstream try).
+	uppers := []float64{100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1e6}
+	cum, total := rt.stats.Fanout.CumulativeAtMost(uppers)
+	fmt.Fprintf(w, "# HELP c2_router_fanout_duration_seconds Upstream try latency.\n")
+	fmt.Fprintf(w, "# TYPE c2_router_fanout_duration_seconds histogram\n")
+	for i, le := range uppers {
+		fmt.Fprintf(w, "c2_router_fanout_duration_seconds_bucket{le=\"%g\"} %d\n", le/1e6, cum[i])
+	}
+	fmt.Fprintf(w, "c2_router_fanout_duration_seconds_bucket{le=\"+Inf\"} %d\n", total)
+	fmt.Fprintf(w, "c2_router_fanout_duration_seconds_sum %.6f\n", float64(rt.stats.Fanout.SumMicros())/1e6)
+	fmt.Fprintf(w, "c2_router_fanout_duration_seconds_count %d\n", total)
+}

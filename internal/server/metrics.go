@@ -98,13 +98,13 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	for i, s := range metricsBucketsSecs {
 		uppers[i] = s * 1e6 // the internal histogram is in microseconds
 	}
-	cum, total := stats.cumulativeAtMost(uppers)
+	cum, total := stats.lat.CumulativeAtMost(uppers)
 	fmt.Fprintf(w, "# HELP c2_request_duration_seconds Query latency (successful requests).\n")
 	fmt.Fprintf(w, "# TYPE c2_request_duration_seconds histogram\n")
 	for i, le := range metricsBucketsSecs {
 		fmt.Fprintf(w, "c2_request_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum[i])
 	}
 	fmt.Fprintf(w, "c2_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", total)
-	fmt.Fprintf(w, "c2_request_duration_seconds_sum %.6f\n", float64(stats.sumMicros.Load())/1e6)
+	fmt.Fprintf(w, "c2_request_duration_seconds_sum %.6f\n", float64(stats.lat.SumMicros())/1e6)
 	fmt.Fprintf(w, "c2_request_duration_seconds_count %d\n", total)
 }

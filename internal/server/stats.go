@@ -66,6 +66,86 @@ func bucketUpperMicros(i int) float64 {
 	return float64(uint64(mant+1) << uint(exp))
 }
 
+// LatencyHist is the lock-free HDR-style latency histogram described
+// above, bundled with a running sum so a Prometheus exposition can emit
+// both _bucket and _sum series. The zero value is ready to use; all
+// methods are safe for concurrent callers. It is exported so other
+// serving tiers (the scatter-gather router) account latency with the
+// exact same bucket layout — percentiles from a shard and from the
+// router in front of it are then directly comparable.
+type LatencyHist struct {
+	hist      [histBuckets]atomic.Uint64
+	sumMicros atomic.Uint64
+}
+
+// Record accounts one observation.
+func (h *LatencyHist) Record(d time.Duration) {
+	h.hist[bucketOf(d)].Add(1)
+	h.sumMicros.Add(uint64(d / time.Microsecond))
+}
+
+// SumMicros returns the running sum of recorded latencies in
+// microseconds.
+func (h *LatencyHist) SumMicros() uint64 { return h.sumMicros.Load() }
+
+// Percentile returns the p-quantile (0 < p <= 1) of recorded latencies
+// in microseconds, or 0 when nothing has been recorded. The histogram
+// is read without synchronization against writers; under load the
+// result is an instantaneous estimate, which is what /statsz wants.
+func (h *LatencyHist) Percentile(p float64) float64 {
+	var total uint64
+	var counts [histBuckets]uint64
+	for i := range h.hist {
+		counts[i] = h.hist[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range counts {
+		seen += c
+		if seen > rank {
+			return bucketUpperMicros(i)
+		}
+	}
+	return bucketUpperMicros(histBuckets - 1)
+}
+
+// CumulativeAtMost returns, for each upper bound in uppersMicros
+// (ascending), the number of recorded latencies at most that many
+// microseconds, plus the grand total — the cumulative bucket counts a
+// Prometheus histogram exposition needs. A recorded value falling in an
+// HDR bucket that straddles an upper bound is attributed to the next
+// bound (its bucket's own upper edge), so the exposition never
+// under-reports a latency.
+func (h *LatencyHist) CumulativeAtMost(uppersMicros []float64) (counts []uint64, total uint64) {
+	counts = make([]uint64, len(uppersMicros))
+	for i := 0; i < histBuckets; i++ {
+		c := h.hist[i].Load()
+		if c == 0 {
+			continue
+		}
+		total += c
+		upper := bucketUpperMicros(i)
+		for j, le := range uppersMicros {
+			if upper <= le {
+				counts[j] += c
+				break
+			}
+		}
+	}
+	// Make counts cumulative.
+	for j := 1; j < len(counts); j++ {
+		counts[j] += counts[j-1]
+	}
+	return counts, total
+}
+
 // qpsWindowSlots is the size of the per-second request-count ring the
 // sliding-window rate is computed over.
 const qpsWindowSlots = 16
@@ -93,14 +173,13 @@ type Stats struct {
 	tooLarge   atomic.Uint64 // request bodies over the cap (413)
 	inFlight   atomic.Int64  // requests currently inside the shed stage
 	byStatus   [len(knownStatusCodes) + 1]atomic.Uint64
-	sumMicros  atomic.Uint64 // total recorded query latency, for /metrics _sum
 	reloadFail atomic.Uint64
 
 	reloadErrMu    sync.Mutex // guards the two strings below
 	lastReloadKind string
 	lastReloadErr  string
 
-	hist [histBuckets]atomic.Uint64
+	lat LatencyHist
 
 	qpsCounts [qpsWindowSlots]atomic.Uint64
 	qpsStamps [qpsWindowSlots]atomic.Int64
@@ -126,8 +205,7 @@ func (st *Stats) RecordQuery(ep Endpoint, d time.Duration, nQueries int, batched
 	} else {
 		st.cacheMiss.Add(1)
 	}
-	st.hist[bucketOf(d)].Add(1)
-	st.sumMicros.Add(uint64(d / time.Microsecond))
+	st.lat.Record(d)
 
 	sec := time.Now().Unix()
 	slot := sec % qpsWindowSlots
@@ -199,63 +277,12 @@ func (st *Stats) RecordReloadFailure(kind, msg string) {
 	st.reloadErrMu.Unlock()
 }
 
-// percentile returns the p-quantile (0 < p <= 1) of recorded latencies
-// in microseconds, or 0 when nothing has been recorded. The histogram
-// is read without synchronization against writers; under load the
-// result is an instantaneous estimate, which is what /statsz wants.
-func (st *Stats) percentile(p float64) float64 {
-	var total uint64
-	var counts [histBuckets]uint64
-	for i := range st.hist {
-		counts[i] = st.hist[i].Load()
-		total += counts[i]
-	}
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(p * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	for i, c := range counts {
-		seen += c
-		if seen > rank {
-			return bucketUpperMicros(i)
-		}
-	}
-	return bucketUpperMicros(histBuckets - 1)
-}
+// Hist exposes the request-latency histogram (for /metrics and for
+// tiers that stack their own accounting on a Stats).
+func (st *Stats) Hist() *LatencyHist { return &st.lat }
 
-// cumulativeAtMost returns, for each upper bound in uppersMicros
-// (ascending), the number of recorded latencies at most that many
-// microseconds, plus the grand total — the cumulative bucket counts a
-// Prometheus histogram exposition needs. A recorded value falling in an
-// HDR bucket that straddles an upper bound is attributed to the next
-// bound (its bucket's own upper edge), so the exposition never
-// under-reports a latency.
-func (st *Stats) cumulativeAtMost(uppersMicros []float64) (counts []uint64, total uint64) {
-	counts = make([]uint64, len(uppersMicros))
-	for i := 0; i < histBuckets; i++ {
-		c := st.hist[i].Load()
-		if c == 0 {
-			continue
-		}
-		total += c
-		upper := bucketUpperMicros(i)
-		for j, le := range uppersMicros {
-			if upper <= le {
-				counts[j] += c
-				break
-			}
-		}
-	}
-	// Make counts cumulative.
-	for j := 1; j < len(counts); j++ {
-		counts[j] += counts[j-1]
-	}
-	return counts, total
-}
+// percentile is kept as a shorthand over the histogram.
+func (st *Stats) percentile(p float64) float64 { return st.lat.Percentile(p) }
 
 // windowRate returns requests/sec over the trailing full seconds of the
 // sliding window (the current partial second is excluded).
@@ -316,6 +343,12 @@ type Snapshot struct {
 	LastReloadKind  string `json:"last_reload_kind,omitempty"`
 	LastReloadError string `json:"last_reload_error,omitempty"`
 }
+
+// Snapshot renders the counters into the /statsz JSON shape. Fields the
+// server owns (cacheEntries, epoch, users, k) are left zero; the serving
+// handler fills them in. Exported so the router can embed a Stats and
+// extend the same snapshot rather than reinvent it.
+func (st *Stats) Snapshot() Snapshot { return st.snapshot() }
 
 // snapshot renders the counters; cacheEntries, epoch, users and k come
 // from the server, which owns those.

@@ -210,6 +210,55 @@ elif [ -f "$SOAK_JSON" ]; then
   echo "soak record $SOAK_JSON is stale (>60 min); skipping its gate"
 fi
 
+SHARD_JSON="benchmarks/BENCH_shard.json"
+
+# Gate the sharded-serving record (scripts/bench-shard.sh): every
+# routed response must be byte-identical to the single-process daemon's
+# (mismatched == 0), no request may fail and none may degrade to a
+# partial answer while all replicas are up — those three are
+# unconditional. The scaling gate — routed throughput >= 1.8x the
+# 1-worker single-process baseline at 2 shards — only applies when the
+# runner actually has at least as many cores as shards; on a 1-core box
+# two shard workers time-slice one CPU and 1.0x is the physical
+# ceiling, so judging speedup there would only test the scheduler.
+if [ -f "$SHARD_JSON" ] && [ -n "$(find "$SHARD_JSON" -mmin -60 2>/dev/null)" ]; then
+  echo "sharded serving record ($SHARD_JSON):"
+  cat "$SHARD_JSON"
+  awk -v minspeed="${SHARD_MIN_SPEEDUP:-1.8}" '
+    match($0, /"shards": *[0-9]+/)               { split(substr($0, RSTART, RLENGTH), a, ": *"); shards = a[2] + 0 }
+    match($0, /"cores": *[0-9]+/)                { split(substr($0, RSTART, RLENGTH), a, ": *"); cores = a[2] + 0 }
+    match($0, /"failed_requests": *[0-9]+/)      { split(substr($0, RSTART, RLENGTH), a, ": *"); failed = a[2] + 0 }
+    match($0, /"mismatched_responses": *[0-9]+/) { split(substr($0, RSTART, RLENGTH), a, ": *"); mism = a[2] + 0 }
+    match($0, /"partial_responses": *[0-9]+/)    { split(substr($0, RSTART, RLENGTH), a, ": *"); part = a[2] + 0 }
+    match($0, /"speedup": *[0-9.]+/)             { split(substr($0, RSTART, RLENGTH), a, ": *"); speedup = a[2] + 0 }
+    END {
+      if (failed > 0) {
+        printf("%d routed requests failed, want 0\n", failed) > "/dev/stderr"
+        exit 1
+      }
+      if (mism > 0) {
+        printf("%d routed responses were not byte-identical to the single-process daemon, want 0\n", mism) > "/dev/stderr"
+        exit 1
+      }
+      if (part > 0) {
+        printf("%d responses degraded to partial with every replica healthy, want 0\n", part) > "/dev/stderr"
+        exit 1
+      }
+      if (cores < shards) {
+        printf("shard gate ok (correctness only): 0 failed / 0 mismatched / 0 partial; speedup %.2fx not judged on %d core(s) for %d shards\n", speedup, cores, shards)
+        exit 0
+      }
+      if (speedup < minspeed) {
+        printf("routed tier only %.2fx the single-process baseline at %d shards, want >= %.1fx\n", speedup, shards, minspeed) > "/dev/stderr"
+        exit 1
+      }
+      printf("shard gate ok: 0 failed / 0 mismatched / 0 partial, routed %.2fx single-process at %d shards\n", speedup, shards)
+    }
+  ' "$SHARD_JSON"
+elif [ -f "$SHARD_JSON" ]; then
+  echo "shard record $SHARD_JSON is stale (>60 min); skipping its gate"
+fi
+
 if [ ! -f "$BASELINE" ] || ! grep -q '^Benchmark' "$BASELINE"; then
   echo "baseline missing or empty; skipping compare"
   exit 0

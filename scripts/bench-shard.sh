@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Run the sharded-serving experiment (one C2 index served by a single
+# 1-worker daemon vs 2 shard daemons behind the scatter-gather router,
+# every routed response byte-compared against the single-process one)
+# on a small preset and record benchmarks/BENCH_shard.json — the
+# scatter-gather correctness and scaling tracker consumed by
+# scripts/bench-compare.sh and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SCALE="${SHARD_SCALE:-0.02}"
+WORKERS="${SHARD_WORKERS:-4}"
+
+mkdir -p benchmarks
+go run ./cmd/c2bench -exp shard -scale "$SCALE" -workers "$WORKERS" \
+  -json benchmarks/BENCH_shard.json
+echo "wrote benchmarks/BENCH_shard.json"

@@ -1,0 +1,63 @@
+package c2knn
+
+import (
+	"fmt"
+
+	"c2knn/internal/frh"
+	"c2knn/internal/persist"
+)
+
+// Sharded serving: the user → shard mapping and the snapshot
+// partitioner, re-exported so operators and tools (cmd/c2build,
+// cmd/c2serve, the experiments harness) share one definition with the
+// router instead of duplicating hash logic. See internal/frh/shard.go
+// for the contract: ShardKey is a stable pure function of the user id,
+// and contiguous bucket ranges map to shards.
+
+// DefaultShardBuckets is the default shard-key space size.
+const DefaultShardBuckets = frh.DefaultShardBuckets
+
+// BucketRange is a contiguous inclusive range of shard-key buckets; a
+// shard owns the users whose ShardKey falls in its range.
+type BucketRange = frh.BucketRange
+
+// ShardKey maps a user id to its bucket in [1, buckets]. Stable across
+// processes and binary versions — the wire contract routers and
+// partitioners agree on.
+func ShardKey(u int32, buckets int) uint32 { return frh.ShardKey(u, buckets) }
+
+// PartitionShardBuckets splits the bucket space [1, buckets] into
+// shards contiguous near-equal ranges.
+func PartitionShardBuckets(buckets, shards int) []BucketRange {
+	return frh.PartitionBuckets(buckets, shards)
+}
+
+// ShardOf returns the index of the range owning u's bucket, or -1 when
+// no range does.
+func ShardOf(u int32, buckets int, ranges []BucketRange) int {
+	return frh.ShardOf(u, buckets, ranges)
+}
+
+// PartitionIndex splits ix into one serving index per bucket range:
+// each keeps the full dataset and fingerprints by reference (scoring
+// needs neighbors' profiles) but only its owned users' graph rows, so
+// the graph — the artifact that grows with the corpus — partitions
+// across shards. Also returns the per-shard owned-user counts. The
+// in-process twin of c2build -shards; tests and the experiments
+// harness use it to stand up a sharded tier without touching disk.
+func PartitionIndex(ix *Index, buckets int, ranges []BucketRange) ([]*Index, []int, error) {
+	snaps, users, err := persist.PartitionSnapshot(&persist.Snapshot{
+		Graph: ix.graph, Train: ix.train, GoldFinger: ix.gf,
+	}, buckets, ranges)
+	if err != nil {
+		return nil, nil, fmt.Errorf("c2knn: partition index: %w", err)
+	}
+	out := make([]*Index, len(snaps))
+	for i, s := range snaps {
+		out[i], err = newFrozenIndex(s.Graph, s.Train, s.GoldFinger)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, users, nil
+}
