@@ -56,6 +56,30 @@
 // the measured wins and an honest account of where the remaining time
 // goes.
 //
+// # Vectorized count kernels
+//
+// The AND-popcount at the bottom of every bit-signature row is served
+// by a per-architecture count-kernel layer (internal/similarity
+// kernel*.go/.s): hand-written AVX2 assembly on amd64 (VPAND plus the
+// VPSHUFB nibble-popcount, with the paper-default 1024-bit width
+// specialized and rows processed two at a time) and NEON on arm64
+// (VCNT byte counts with an in-register add tree), with pure-Go
+// specializations everywhere else. The kernels return exact integer
+// intersection counts; the float64 Jaccard division stays in shared Go
+// code, so every kernel produces byte-identical similarities —
+// equivalence and fuzz tests compare raw float bits across kernels.
+//
+// Selection is automatic at startup (a dependency-free CPUID/XGETBV
+// probe on amd64; AdvSIMD is baseline on arm64) and overridable with
+// C2_KERNEL=scalar, which forces the pure-Go path on any machine —
+// useful for bisecting, benchmarking the scalar floor, or sidestepping
+// a suspect microarchitecture. The active kernel's name is reported by
+// similarity.KernelName, surfaced in the daemon's /statsz (sim_kernel)
+// and recorded in benchmarks/BENCH_solve.json. New assembly widths
+// follow the same pattern: integer counts only, one contiguous run per
+// call, scalar tail in Go, and a byte-identity test against the scalar
+// reference before dispatch is wired up.
+//
 // # Pipelined clustering
 //
 // BuildC2 streams clusters into the solver pool as the t clustering

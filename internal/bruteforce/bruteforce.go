@@ -17,6 +17,7 @@
 package bruteforce
 
 import (
+	"math/bits"
 	"sync"
 
 	"c2knn/internal/knng"
@@ -88,6 +89,24 @@ type Scratch struct {
 	slab  []knng.Neighbor
 	row   []float64
 	mins  []float64
+	// hsims/hids/lens are the sweep's parallel-array heaps: list v's
+	// heap lives in hsims[v·k:(v+1)·k] / hids[v·k:(v+1)·k] with lens[v]
+	// entries, and is materialized into slab's knng.Neighbor form only
+	// once the sweep finishes. Splitting Sim and ID halves the bytes a
+	// sift level touches (8-byte keys instead of 16-byte structs), which
+	// matters once the scoring kernel is vectorized and the sift loops
+	// become the solve's largest term.
+	hsims []float64
+	hids  []int32
+	lens  []int32
+}
+
+// growInt32 is similarity.GrowRow for int32 scratch.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // LocalInto computes the exact KNN lists of the gathered cluster loc,
@@ -141,39 +160,155 @@ func LocalInto(loc *similarity.Local, k int, s *Scratch) []knng.List {
 	//
 	// Lists run on local indices; ids are remapped once at the end
 	// (k entries per member) instead of once per pair.
+	// The sweep runs on parallel-array heaps (hsims/hids, one k-slot
+	// stripe per list) rather than on knng.List directly: the sift
+	// decisions and moves below are exactly List's, so the array state
+	// matches the Neighbor heap List would hold index for index, but a
+	// sift level touches half the bytes. Lists are materialized — and
+	// ids remapped to global — in one pass after the sweep.
+	s.hsims = similarity.GrowRow(s.hsims, m*k)
+	s.hids = growInt32(s.hids, m*k)
+	s.lens = growInt32(s.lens, m)
+	hsims, hids, lens := s.hsims, s.hids, s.lens
+	for v := range lens {
+		lens[v] = 0
+	}
 	for c0 := 1; c0 < m; c0 += colBlock {
 		c1 := min(c0+colBlock, m)
 		for i := 0; i < c1-1; i++ {
 			lo := max(i+1, c0)
 			row := s.row[:c1-lo]
 			loc.SimRow(i, lo, c1, row)
-			li := &lists[i]
+			iBase := i * k
+			simsI, idsI := hsims[iBase:iBase+k], hids[iBase:iBase+k]
+			nI := int(lens[i])
 			minI := mins[i] // reverse inserts into list i precede row i
 			// minsPane realigns the gate thresholds to the row so the
 			// per-pair reads are provably in bounds.
 			minsPane := mins[lo:c1]
 			minsPane = minsPane[:len(row)]
-			for x, sim := range row {
-				// InsertDistinct: the triangular sweep offers (j to
-				// list i, i to list j) exactly once each, so the
-				// duplicate scan is provably dead.
-				if sim > minI {
-					if li.InsertDistinct(int32(lo+x), sim) {
-						minI = li.Min()
+			// Gate scan: one branchless compare kernel builds per-row
+			// accept bitmasks (gateMasks — AVX under the vector
+			// kernel), and the offer loops below touch only set bits.
+			// Once lists warm up ~90% of pairs fail both gates; the
+			// masks turn those from two mispredictable branches per
+			// pair into a TrailingZeros walk over sparse words. The
+			// scan is exact, not heuristic: the rev mask equals the
+			// per-column gate (minsPane[x] is updated only by column
+			// x's own insert, and each column appears once per row),
+			// the fwd mask is a superset frozen at row start (minI
+			// only rises) and each forward offer rechecks the live
+			// minI. Each list's own candidate arrival order is
+			// untouched, so the result stays bit-identical.
+			var fwdM, revM [maskWords]uint64
+			gateMasks(row, minsPane, minI, &fwdM, &revM)
+			nw := (len(row) + 63) / 64
+			for w := 0; w < nw; w++ {
+				// heapOffer, not Insert-with-duplicate-scan: the
+				// triangular sweep offers (j to list i, i to list j)
+				// exactly once each, so the scan is provably dead.
+				for b := fwdM[w]; b != 0; b &= b - 1 {
+					x := w<<6 + bits.TrailingZeros64(b)
+					if sim := row[x]; sim > minI {
+						nI = heapOffer(simsI, idsI, nI, k, int32(lo+x), sim)
+						if nI == k {
+							minI = simsI[0]
+						}
 					}
 				}
-				if sim > minsPane[x] {
+				// Prefetch the reverse targets' heap stripes now: the
+				// sift loop's loads are a dependent chain into a
+				// stripe that is cold by the time its list is hit
+				// again, and the hint streams those lines in while
+				// the remaining words are scanned.
+				for b := revM[w]; b != 0; b &= b - 1 {
+					jBase := (lo + w<<6 + bits.TrailingZeros64(b)) * k
+					prefetchStripe(&hsims[jBase], &hids[jBase], k)
+				}
+			}
+			lens[i] = int32(nI)
+			mins[i] = minI
+			// Insert phase: drain the accepted reverse offers.
+			for w := 0; w < nw; w++ {
+				for b := revM[w]; b != 0; b &= b - 1 {
+					x := w<<6 + bits.TrailingZeros64(b)
 					j := lo + x
-					if lists[j].InsertDistinct(int32(i), sim) {
-						minsPane[x] = lists[j].Min()
+					jBase := j * k
+					simsJ, idsJ := hsims[jBase:jBase+k], hids[jBase:jBase+k]
+					nJ := heapOffer(simsJ, idsJ, int(lens[j]), k, int32(i), row[x])
+					lens[j] = int32(nJ)
+					if nJ == k {
+						minsPane[x] = simsJ[0]
 					}
 				}
 			}
-			mins[i] = minI
 		}
 	}
-	remapIDs(loc, lists)
+	// Materialize: copy each heap stripe into the list's Neighbor slab
+	// (every entry was inserted this solve, hence New) and remap local
+	// member indices to global user ids in the same pass.
+	for v := range lists {
+		n := int(lens[v])
+		h := s.slab[v*k : v*k+n]
+		base := v * k
+		for x := range h {
+			h[x] = knng.Neighbor{
+				Sim: hsims[base+x],
+				ID:  loc.ID(int(hids[base+x])),
+				New: true,
+			}
+		}
+		lists[v].H = h
+	}
 	return lists
+}
+
+// heapOffer offers (id, sim) to the k-bounded parallel-array min-heap
+// holding n entries in sims/ids and returns the new entry count. Its
+// decisions — degenerate-sim rejection, strict threshold on a full
+// heap, hole-push sifts with List's child-selection and tie rules —
+// are verbatim knng.List.InsertDistinct's, so the array heap evolves
+// into exactly the layout the List heap would have.
+func heapOffer(sims []float64, ids []int32, n, k int, id int32, sim float64) int {
+	if sim != sim || sim < 0 {
+		return n
+	}
+	if n >= k {
+		if sim <= sims[0] {
+			return n
+		}
+		i := 0
+		for {
+			c := 2*i + 1
+			if c >= n {
+				break
+			}
+			// Conditional-move child pick, as in List.siftDown.
+			if c2 := c + 1; c2 < n {
+				if sims[c2] < sims[c] {
+					c = c2
+				}
+			}
+			if sims[c] >= sim {
+				break
+			}
+			sims[i], ids[i] = sims[c], ids[c]
+			i = c
+		}
+		sims[i], ids[i] = sim, id
+		return n
+	}
+	i := n
+	for i > 0 {
+		p := (i - 1) / 2
+		if sims[p] <= sim {
+			break
+		}
+		sims[i], ids[i] = sims[p], ids[p]
+		i = p
+	}
+	sims[i], ids[i] = sim, id
+	return n + 1
 }
 
 // colBlock is the panel width of LocalInto's blocked sweep. 512

@@ -1,0 +1,29 @@
+package bruteforce
+
+// maskWords is the size of the per-row gate bitmasks: one bit per
+// column of a colBlock-wide panel row.
+const maskWords = colBlock / 64
+
+// gateMasksGo is the portable gate scan: bit x of fwd is set when
+// row[x] beats the row owner's threshold (minI, as of row start), bit
+// x of rev when row[x] beats column x's threshold. It is the reference
+// the AVX form (gate_amd64.s) must match bit for bit — both sides use
+// the same ordered `>` (NaN fails), so the masks agree exactly.
+//
+// The fwd mask is a superset of the true forward accepts: minI can
+// only rise while the row is processed, so the sweep rechecks sim >
+// minI before each forward offer. The rev mask is exact: mins[x] is
+// updated only by column x's own insert, and each column appears once
+// per row.
+func gateMasksGo(row, mins []float64, minI float64, fwd, rev *[maskWords]uint64) {
+	*fwd = [maskWords]uint64{}
+	*rev = [maskWords]uint64{}
+	for x, sim := range row {
+		if sim > minI {
+			fwd[x>>6] |= 1 << uint(x&63)
+		}
+		if sim > mins[x] {
+			rev[x>>6] |= 1 << uint(x&63)
+		}
+	}
+}

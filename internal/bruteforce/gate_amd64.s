@@ -1,0 +1,65 @@
+// See gate_amd64.go. Branchless gate scan: four float64 compares per
+// iteration against the broadcast row threshold and the marching
+// column thresholds, VMOVMSKPD packing each into 4 mask bits. Bits
+// accumulate in registers and spill one uint64 per 64 columns; a
+// partial final word is flushed on exit (the caller pre-zeroes the
+// mask arrays, so unwritten trailing words stay zero).
+
+#include "textflag.h"
+
+// func gateScanAVX(row *float64, mins *float64, minI float64, fwd, rev *uint64, n int)
+TEXT ·gateScanAVX(SB), NOSPLIT, $0-48
+	MOVQ row+0(FP), SI
+	MOVQ mins+8(FP), BX
+	MOVQ fwd+24(FP), DI
+	MOVQ rev+32(FP), R8
+	MOVQ n+40(FP), R14
+
+	VBROADCASTSD minI+16(FP), Y0
+
+	XORQ R9, R9   // bit position within the current mask word
+	XORQ R10, R10 // fwd accumulator
+	XORQ R11, R11 // rev accumulator
+
+loop4:
+	CMPQ R14, $4
+	JLT  flush
+
+	VMOVUPD   (SI), Y1
+	VCMPPD    $30, Y0, Y1, Y2 // GT_OQ: row > minI
+	VMOVMSKPD Y2, AX
+	VMOVUPD   (BX), Y3
+	VCMPPD    $30, Y3, Y1, Y3 // GT_OQ: row > mins
+	VMOVMSKPD Y3, DX
+
+	MOVQ R9, CX
+	SHLQ CL, AX
+	SHLQ CL, DX
+	ORQ  AX, R10
+	ORQ  DX, R11
+
+	ADDQ $32, SI
+	ADDQ $32, BX
+	SUBQ $4, R14
+	ADDQ $4, R9
+	CMPQ R9, $64
+	JLT  loop4
+
+	MOVQ R10, (DI)
+	MOVQ R11, (R8)
+	ADDQ $8, DI
+	ADDQ $8, R8
+	XORQ R9, R9
+	XORQ R10, R10
+	XORQ R11, R11
+	JMP  loop4
+
+flush:
+	TESTQ R9, R9
+	JZ    done
+	MOVQ  R10, (DI)
+	MOVQ  R11, (R8)
+
+done:
+	VZEROUPPER
+	RET

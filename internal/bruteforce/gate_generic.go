@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package bruteforce
+
+func gateMasks(row, mins []float64, minI float64, fwd, rev *[maskWords]uint64) {
+	gateMasksGo(row, mins, minI, fwd, rev)
+}

@@ -1,0 +1,16 @@
+package bruteforce
+
+// prefetchStripe issues non-blocking PREFETCHT0 hints for one list's
+// parallel-array heap stripe (k float64 sims plus k int32 ids — up to
+// 512 B, eight cache lines). The blocked sweep calls it from the gate
+// scan, several pairs before the insert phase walks the stripe: the
+// sift loop's loads are a dependent chain (each level's child index
+// comes from the previous comparison), so without the hint a cold
+// stripe costs a serial string of L2 hits; with it the lines stream in
+// parallel while the scan finishes the row.
+//
+// Implemented in assembly because Go has no prefetch intrinsic and a
+// pure-Go "touch" load is dead-code the compiler may delete.
+//
+//go:noescape
+func prefetchStripe(sims *float64, ids *int32, k int)

@@ -1,0 +1,33 @@
+// See prefetch_amd64.go. Hints, not loads: PREFETCHT0 never faults and
+// retires immediately, so over-prefetching past the stripe's true
+// length only costs a few spare line fills.
+
+#include "textflag.h"
+
+// func prefetchStripe(sims *float64, ids *int32, k int)
+TEXT ·prefetchStripe(SB), NOSPLIT, $0-24
+	MOVQ sims+0(FP), AX
+	MOVQ ids+8(FP), BX
+	MOVQ k+16(FP), CX
+
+	// Every cache line of sims[0:k] (8 floats per line)...
+	MOVQ CX, DX
+	SHLQ $3, DX // DX = k*8 bytes
+
+simsLoop:
+	PREFETCHT0 (AX)
+	ADDQ $64, AX
+	SUBQ $64, DX
+	JG   simsLoop
+
+	// ...and of ids[0:k] (16 ids per line).
+	MOVQ CX, DX
+	SHLQ $2, DX // DX = k*4 bytes
+
+idsLoop:
+	PREFETCHT0 (BX)
+	ADDQ $64, BX
+	SUBQ $64, DX
+	JG   idsLoop
+
+	RET

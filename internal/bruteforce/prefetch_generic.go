@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package bruteforce
+
+// Ports without a prefetch helper: the sweep still works, the insert
+// phase just pays the cold-stripe latency the hint would have hidden.
+func prefetchStripe(sims *float64, ids *int32, k int) {}

@@ -35,6 +35,14 @@ type SolveSummary struct {
 	LargeScalarMS  float64 `json:"large_scalar_ms"`
 	SolveSpeedup   float64 `json:"solve_speedup"`
 	AllocsPerSolve float64 `json:"allocs_per_solve"`
+
+	// Kernel is the similarity count kernel the blocked numbers above
+	// were measured with ("scalar", "avx2", "neon"); KernelSpeedup is
+	// the large blocked solve under that kernel versus the same solve
+	// with the kernel forced to scalar — the vectorization's isolated
+	// contribution (1.0 when the active kernel already is scalar).
+	Kernel        string  `json:"kernel"`
+	KernelSpeedup float64 `json:"kernel_speedup"`
 	HyrecBlockedMS float64 `json:"hyrec_blocked_ms"`
 	HyrecScalarMS  float64 `json:"hyrec_scalar_ms"`
 	HyrecSpeedup   float64 `json:"hyrec_speedup"`
@@ -129,6 +137,26 @@ func (e *Env) Solve() (*SolveSummary, error) {
 		sum.SolveSpeedup = sum.LargeScalarMS / sum.LargeBlockedMS
 	}
 
+	// Isolate the count kernel's contribution: the same blocked solve
+	// with the vector kernel active versus forced to scalar. Selection
+	// happens inside each closure so solvePair's interleaving holds for
+	// the kernels too; the reference LocalIntoScalar path never touches
+	// the vector kernel, so SolveSpeedup above is unaffected by which
+	// kernel C2_KERNEL picked.
+	sum.Kernel = similarity.KernelName()
+	sum.KernelSpeedup = 1
+	if active := sum.Kernel; active != "scalar" {
+		vecMS, scalMS := solvePair(
+			func() { similarity.SelectKernel(active); bruteforce.LocalInto(&loc, e.K, &bf) },
+			func() { similarity.SelectKernel("scalar"); bruteforce.LocalInto(&loc, e.K, &bf) })
+		if _, err := similarity.SelectKernel(active); err != nil {
+			return nil, err
+		}
+		if vecMS > 0 {
+			sum.KernelSpeedup = scalMS / vecMS
+		}
+	}
+
 	// Steady-state allocation count of the blocked path, measured the
 	// way testing.AllocsPerRun does: pinned to one P so other
 	// goroutines' allocations stay off the global counters, and
@@ -163,6 +191,8 @@ func (e *Env) Solve() (*SolveSummary, error) {
 		small, sum.SmallBlockedMS, sum.SmallScalarMS, sum.SmallSpeedup)
 	e.printf("  brute force %d: blocked %.2f ms, scalar %.2f ms, speedup %.2fx (%.2f allocs/solve)\n",
 		sum.ClusterLarge, sum.LargeBlockedMS, sum.LargeScalarMS, sum.SolveSpeedup, sum.AllocsPerSolve)
+	e.printf("  count kernel %s: %.2fx over forced-scalar on the %d-member blocked solve\n",
+		sum.Kernel, sum.KernelSpeedup, sum.ClusterLarge)
 	e.printf("  hyrec %d: blocked %.2f ms, scalar %.2f ms, speedup %.2fx\n",
 		small, sum.HyrecBlockedMS, sum.HyrecScalarMS, sum.HyrecSpeedup)
 	return sum, nil

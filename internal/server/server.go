@@ -44,6 +44,7 @@ import (
 
 	"c2knn"
 	"c2knn/internal/server/middleware"
+	"c2knn/internal/similarity"
 )
 
 // Config parameterizes a Server; the zero value gets sensible defaults.
@@ -645,6 +646,7 @@ func (s *Server) serveStatsz(w http.ResponseWriter, r *http.Request) {
 	snap.Epoch = st.epoch
 	snap.Users = st.ix.NumUsers()
 	snap.K = st.ix.K()
+	snap.SimKernel = similarity.KernelName()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)
 }

@@ -328,6 +328,11 @@ type Snapshot struct {
 	Users int    `json:"users"`
 	K     int    `json:"k"`
 
+	// SimKernel names the similarity count kernel this process selected
+	// at startup ("avx2", "neon", "scalar") — operators reading /statsz
+	// can tell at a glance whether a replica is running vectorized.
+	SimKernel string `json:"sim_kernel,omitempty"`
+
 	// Hardening counters.
 	Panics          uint64            `json:"panics_total"`
 	Shed            uint64            `json:"shed_total"`

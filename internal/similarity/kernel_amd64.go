@@ -1,0 +1,76 @@
+package similarity
+
+// amd64 vector kernel: AVX2 VPAND + VPSHUFB-nibble popcount, selected by
+// a dependency-free CPUID/XGETBV probe (below). The assembly lives in
+// kernel_amd64.s; both entry points write exact integer intersection
+// counts, so they slot under BitSimRow without touching its float64
+// division and stay bit-identical to the scalar reference by
+// construction.
+
+// countRun16AVX2 writes counts[x] = popcount(a AND slab[16x:16x+16])
+// for x in [0, n) — the paper-default 1024-bit specialization. The
+// query signature is held in four ymm registers across the whole run.
+//
+//go:noescape
+func countRun16AVX2(counts *int32, a *uint64, slab *uint64, n int)
+
+// countRunNAVX2 is the generic-width run kernel: any words ≥ 1,
+// vectorized over the 4-word-aligned prefix of each row with a scalar
+// POPCNT tail for the remaining 1–3 words.
+//
+//go:noescape
+func countRunNAVX2(counts *int32, a *uint64, slab *uint64, n, words int)
+
+// cpuid and xgetbv0 are the raw instruction wrappers behind the AVX2
+// probe; implemented in kernel_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// vectorName reports the vector kernel this CPU can run: "avx2" when
+// the full chain holds — OSXSAVE enabled, OS saves ymm state (XGETBV
+// XCR0 bits 1..2), and CPUID leaf 7 advertises AVX2 (the scalar tail's
+// POPCNT is implied by any AVX2-capable part, but is checked anyway) —
+// and "" otherwise.
+func vectorName() string {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return ""
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave, avx, popcnt = 1 << 27, 1 << 28, 1 << 23
+	if ecx1&osxsave == 0 || ecx1&avx == 0 || ecx1&popcnt == 0 {
+		return ""
+	}
+	if eax, _ := xgetbv0(); eax&6 != 6 { // XMM and YMM state OS-enabled
+		return ""
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	if ebx7&avx2 == 0 {
+		return ""
+	}
+	return "avx2"
+}
+
+// countRunVector dispatches one contiguous run to the AVX2 kernels.
+// Only called with useVector set, which implies the probe passed.
+func countRunVector(counts []int32, a, slab []uint64, words int) {
+	if words == 16 {
+		countRun16AVX2(&counts[0], &a[0], &slab[0], len(counts))
+		return
+	}
+	countRunNAVX2(&counts[0], &a[0], &slab[0], len(counts), words)
+}
+
+// countOneVector serves the batch-shaped path (scattered rows, no
+// contiguous run): a single-row kernel call still beats sixteen scalar
+// POPCNTs at the paper-default width; other widths report false and
+// fall back to the scalar specializations.
+func countOneVector(a, row []uint64, words int) (int, bool) {
+	if words != 16 {
+		return 0, false
+	}
+	var c int32
+	countRun16AVX2(&c, &a[0], &row[0], 1)
+	return int(c), true
+}

@@ -1,0 +1,134 @@
+// NEON AND-popcount run kernels. See kernel_arm64.go for the Go
+// prototypes and kernel.go for the layer's contract: exact integer
+// intersection counts of one signature against a contiguous run of
+// slab rows; the float64 Jaccard division stays in Go.
+//
+// Popcount strategy: VCNT counts bits per byte in one instruction, so a
+// row reduces to AND, per-byte counts, a byte-wise add tree, and one
+// VUADDLV widening sum. Byte lanes cannot overflow: the 16-word kernel
+// folds eight count vectors (max 64 per byte lane), the generic kernel
+// flushes its accumulator every 16 chunks (max 128 per lane).
+
+#include "textflag.h"
+
+// func countRun16NEON(counts *int32, a *uint64, slab *uint64, n int)
+TEXT ·countRun16NEON(SB), NOSPLIT, $0-32
+	MOVD counts+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD slab+16(FP), R2
+	MOVD n+24(FP), R3
+
+	// The 128-byte query signature rides in V0–V7 for the whole run.
+	VLD1.P 64(R1), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VLD1   (R1), [V4.B16, V5.B16, V6.B16, V7.B16]
+
+loop16:
+	VLD1.P 64(R2), [V8.B16, V9.B16, V10.B16, V11.B16]
+	VLD1.P 64(R2), [V12.B16, V13.B16, V14.B16, V15.B16]
+
+	VAND V0.B16, V8.B16, V8.B16
+	VAND V1.B16, V9.B16, V9.B16
+	VAND V2.B16, V10.B16, V10.B16
+	VAND V3.B16, V11.B16, V11.B16
+	VAND V4.B16, V12.B16, V12.B16
+	VAND V5.B16, V13.B16, V13.B16
+	VAND V6.B16, V14.B16, V14.B16
+	VAND V7.B16, V15.B16, V15.B16
+
+	VCNT V8.B16, V8.B16
+	VCNT V9.B16, V9.B16
+	VCNT V10.B16, V10.B16
+	VCNT V11.B16, V11.B16
+	VCNT V12.B16, V12.B16
+	VCNT V13.B16, V13.B16
+	VCNT V14.B16, V14.B16
+	VCNT V15.B16, V15.B16
+
+	// Byte-count add tree (lanes peak at 64 < 255), then widen.
+	VADD V9.B16, V8.B16, V8.B16
+	VADD V11.B16, V10.B16, V10.B16
+	VADD V13.B16, V12.B16, V12.B16
+	VADD V15.B16, V14.B16, V14.B16
+	VADD V10.B16, V8.B16, V8.B16
+	VADD V14.B16, V12.B16, V12.B16
+	VADD V12.B16, V8.B16, V8.B16
+
+	VUADDLV V8.B16, V16
+	VMOV    V16.S[0], R4
+
+	MOVW R4, (R0)
+	ADD  $4, R0
+	SUB  $1, R3
+	CBNZ R3, loop16
+
+	RET
+
+// func countRunNNEON(counts *int32, a *uint64, slab *uint64, n, words int)
+//
+// Generic width: per row, one 2-word (16-byte) chunk at a time into a
+// byte accumulator that flushes to a scalar sum every 16 chunks, then a
+// 1-word scalar-register tail when words is odd.
+TEXT ·countRunNNEON(SB), NOSPLIT, $0-40
+	MOVD counts+0(FP), R0
+	MOVD a+8(FP), R1
+	MOVD slab+16(FP), R2
+	MOVD n+24(FP), R3
+	MOVD words+32(FP), R4
+
+	LSR $1, R4, R5 // R5 = 2-word chunks per row
+	AND $1, R4, R6 // R6 = 1 when a tail word exists
+	LSL $3, R4, R7 // R7 = row stride in bytes
+
+rowN:
+	MOVD R1, R8  // a cursor
+	MOVD R2, R9  // slab row cursor
+	MOVD ZR, R10 // row sum
+	VEOR V2.B16, V2.B16, V2.B16
+	MOVD $16, R12 // chunks until the next accumulator flush
+	MOVD R5, R11
+	CBZ  R11, tailN
+
+chunkN:
+	VLD1.P 16(R8), [V0.B16]
+	VLD1.P 16(R9), [V1.B16]
+	VAND   V0.B16, V1.B16, V0.B16
+	VCNT   V0.B16, V0.B16
+	VADD   V0.B16, V2.B16, V2.B16
+	SUB    $1, R11
+	SUB    $1, R12
+	CBZ    R11, drainN
+	CBNZ   R12, chunkN
+
+	// Group flush: keep byte lanes below overflow for any words.
+	VUADDLV V2.B16, V3
+	VMOV    V3.S[0], R13
+	ADD     R13, R10
+	VEOR    V2.B16, V2.B16, V2.B16
+	MOVD    $16, R12
+	B       chunkN
+
+drainN:
+	VUADDLV V2.B16, V3
+	VMOV    V3.S[0], R13
+	ADD     R13, R10
+
+tailN:
+	CBZ R6, storeN
+
+	MOVD  (R8), R13
+	MOVD  (R9), R14
+	AND   R14, R13, R13
+	FMOVD R13, F0
+	VCNT  V0.B8, V0.B8
+	VUADDLV V0.B8, V1
+	VMOV  V1.S[0], R13
+	ADD   R13, R10
+
+storeN:
+	MOVW R10, (R0)
+	ADD  $4, R0
+	ADD  R7, R2
+	SUB  $1, R3
+	CBNZ R3, rowN
+
+	RET

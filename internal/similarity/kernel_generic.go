@@ -1,0 +1,15 @@
+//go:build !amd64 && !arm64
+
+package similarity
+
+// Ports without assembly kernels: the probe reports no vector kernel,
+// so useVector is never set and the hooks below are unreachable — they
+// exist so kernel.go compiles unconditionally.
+
+func vectorName() string { return "" }
+
+func countRunVector(counts []int32, a, slab []uint64, words int) {
+	countRunScalar(counts, a, slab, words)
+}
+
+func countOneVector(a, row []uint64, words int) (int, bool) { return 0, false }

@@ -1,0 +1,184 @@
+package similarity
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// restoreKernel re-activates whatever kernel the process started with
+// (the C2_KERNEL env var's choice, or auto). Tests that call
+// SelectKernel must defer it.
+func restoreKernel() { SelectKernel(os.Getenv("C2_KERNEL")) }
+
+// refCount is a word-at-a-time AND-popcount oracle, independent of
+// every path under test.
+func refCount(a, b []uint64) int {
+	n := 0
+	for i := range a {
+		n += popcount(a[i] & b[i])
+	}
+	return n
+}
+
+// TestCountRunMatchesReference drives the active count kernel — vector
+// when the build and CPU provide one, scalar otherwise — across word
+// widths 1..33, run lengths spanning the chunk and unroll boundaries,
+// and unaligned slab offsets, against the independent oracle. Running
+// under C2_KERNEL=scalar pins the scalar specializations to the same
+// oracle.
+func TestCountRunMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	runLens := []int{1, 2, 3, 4, 5, 7, 8, 16, 63, 64, 65, 127, 128, 129, 130}
+	for words := 1; words <= 33; words++ {
+		const maxRun = 130
+		// Slab with one row of headroom so runs can start at odd row
+		// offsets (j0 > 0 exercises unaligned vector loads: odd words
+		// put rows off 32-byte boundaries).
+		slab := make([]uint64, (maxRun+3)*words)
+		for i := range slab {
+			slab[i] = rng.Uint64() & rng.Uint64()
+		}
+		a := make([]uint64, words)
+		for i := range a {
+			a[i] = rng.Uint64()
+		}
+		counts := make([]int32, maxRun)
+		for _, n := range runLens {
+			for _, j0 := range []int{0, 1, 3} {
+				run := slab[j0*words : (j0+n)*words]
+				countRun(counts[:n], a, run, words)
+				for x := 0; x < n; x++ {
+					want := refCount(a, run[x*words:(x+1)*words])
+					if int(counts[x]) != want {
+						t.Fatalf("kernel %s: words=%d n=%d j0=%d: counts[%d]=%d, want %d",
+							KernelName(), words, n, j0, x, counts[x], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCountRunDegenerateSignatures pins the all-zero and all-one
+// corners at the specialized widths: zero intersections, and the full
+// 64·words intersection that peaks every byte lane the vector kernels
+// accumulate in.
+func TestCountRunDegenerateSignatures(t *testing.T) {
+	for _, words := range []int{1, 7, 8, 16, 32, 33} {
+		const n = 67
+		zero := make([]uint64, words)
+		ones := make([]uint64, words)
+		for i := range ones {
+			ones[i] = ^uint64(0)
+		}
+		slab := make([]uint64, n*words)
+		counts := make([]int32, n)
+
+		countRun(counts, ones, slab, words) // all-one query, all-zero slab
+		for x := range counts {
+			if counts[x] != 0 {
+				t.Fatalf("words=%d all-zero slab: counts[%d]=%d", words, x, counts[x])
+			}
+		}
+		for i := range slab {
+			slab[i] = ^uint64(0)
+		}
+		countRun(counts, ones, slab, words) // saturated: every bit set
+		for x := range counts {
+			if int(counts[x]) != 64*words {
+				t.Fatalf("words=%d saturated: counts[%d]=%d, want %d", words, x, counts[x], 64*words)
+			}
+		}
+		countRun(counts, zero, slab, words) // all-zero query
+		for x := range counts {
+			if counts[x] != 0 {
+				t.Fatalf("words=%d zero query: counts[%d]=%d", words, x, counts[x])
+			}
+		}
+	}
+}
+
+// TestSelectKernel exercises the selection state machine: auto picks
+// the best kernel, "scalar" forces the reference path, an impossible
+// explicit request errors and leaves scalar active, and AndCount keeps
+// serving through every state.
+func TestSelectKernel(t *testing.T) {
+	defer restoreKernel()
+
+	name, err := SelectKernel("")
+	if err != nil {
+		t.Fatalf("SelectKernel(auto): %v", err)
+	}
+	if name != KernelName() {
+		t.Fatalf("SelectKernel returned %q but KernelName says %q", name, KernelName())
+	}
+	best := name
+	if vec := vectorName(); vec != "" && best != vec {
+		t.Fatalf("auto selected %q, vector probe offers %q", best, vec)
+	}
+
+	name, err = SelectKernel("scalar")
+	if err != nil || name != "scalar" {
+		t.Fatalf("SelectKernel(scalar) = %q, %v", name, err)
+	}
+	if KernelName() != "scalar" {
+		t.Fatalf("KernelName after forcing scalar = %q", KernelName())
+	}
+
+	name, err = SelectKernel("no-such-kernel")
+	if err == nil {
+		t.Fatal("SelectKernel(no-such-kernel) did not error")
+	}
+	if name != "scalar" || KernelName() != "scalar" {
+		t.Fatalf("failed selection left kernel %q active, want scalar", KernelName())
+	}
+
+	if got := AndCount([]uint64{0xff00ff00ff00ff0f}, []uint64{0x00ff00ff00ff00ff}); got != 4 {
+		t.Fatalf("AndCount under scalar = %d, want 4", got)
+	}
+
+	if _, err := SelectKernel("auto"); err != nil {
+		t.Fatalf("SelectKernel(auto) after error state: %v", err)
+	}
+	if KernelName() != best {
+		t.Fatalf("auto re-selection gave %q, want %q", KernelName(), best)
+	}
+}
+
+// TestBitSimRowKernelsByteIdentical is the bit-identity contract test:
+// the active kernel (vector on capable hardware) and the forced scalar
+// kernel must produce byte-for-byte identical similarity rows — not
+// merely close — because kernels return exact integer counts and the
+// float64 division is shared. On scalar-only hardware both passes run
+// the same code and the test degenerates to a self-check.
+func TestBitSimRowKernelsByteIdentical(t *testing.T) {
+	defer restoreKernel()
+	rng := rand.New(rand.NewSource(1234))
+	for _, words := range []int{1, 5, 8, 16, 32, 33} {
+		const m = 130
+		loc := bitsLocal(t, rng, m, words)
+
+		got := make([]float64, m-1)
+		want := make([]float64, m-1)
+		for i := 0; i < m; i += 17 {
+			if _, err := SelectKernel(""); err != nil {
+				t.Fatal(err)
+			}
+			active := KernelName()
+			loc.SimRow(i, 0, m-1, got)
+			if _, err := SelectKernel("scalar"); err != nil {
+				t.Fatal(err)
+			}
+			loc.SimRow(i, 0, m-1, want)
+			for x := range got {
+				if math.Float64bits(got[x]) != math.Float64bits(want[x]) {
+					t.Fatalf("words=%d i=%d x=%d: kernel %s gave %x, scalar gave %x",
+						words, i, x, active,
+						math.Float64bits(got[x]), math.Float64bits(want[x]))
+				}
+			}
+		}
+	}
+}

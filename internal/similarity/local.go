@@ -2,7 +2,6 @@ package similarity
 
 import (
 	"math"
-	"math/bits"
 	"sync/atomic"
 
 	"c2knn/internal/sets"
@@ -152,29 +151,10 @@ func (l *Local) Sim(i, j int) float64 {
 	switch l.kind {
 	case kindBits:
 		w := l.words
-		var inter int
-		if w == 16 {
-			// The paper's default 1024-bit fingerprints: a fully
-			// unrolled AND-popcount over fixed-size array views (no
-			// loop, no bounds checks).
-			a := (*[16]uint64)(l.sigs[i*16:])
-			b := (*[16]uint64)(l.sigs[j*16:])
-			inter = bits.OnesCount64(a[0]&b[0]) + bits.OnesCount64(a[1]&b[1]) +
-				bits.OnesCount64(a[2]&b[2]) + bits.OnesCount64(a[3]&b[3]) +
-				bits.OnesCount64(a[4]&b[4]) + bits.OnesCount64(a[5]&b[5]) +
-				bits.OnesCount64(a[6]&b[6]) + bits.OnesCount64(a[7]&b[7]) +
-				bits.OnesCount64(a[8]&b[8]) + bits.OnesCount64(a[9]&b[9]) +
-				bits.OnesCount64(a[10]&b[10]) + bits.OnesCount64(a[11]&b[11]) +
-				bits.OnesCount64(a[12]&b[12]) + bits.OnesCount64(a[13]&b[13]) +
-				bits.OnesCount64(a[14]&b[14]) + bits.OnesCount64(a[15]&b[15])
-		} else {
-			a := l.sigs[i*w : (i+1)*w]
-			b := l.sigs[j*w : (j+1)*w]
-			b = b[:len(a)] // bounds-check elimination in the loop below
-			for k := range a {
-				inter += bits.OnesCount64(a[k] & b[k])
-			}
-		}
+		// Per-pair form of the count kernel: the scalar specializations
+		// (andCount16 and friends) — the run-shaped SimRow/SimBatch
+		// paths are where the vector kernels engage.
+		inter := AndCount(l.sigs[i*w:(i+1)*w], l.sigs[j*w:(j+1)*w])
 		union := int(l.ones[i]) + int(l.ones[j]) - inter
 		if union == 0 {
 			return 0
@@ -325,75 +305,50 @@ func (l *Local) SimBatch(i int, js []int32, dst []float64) {
 // OR-popcount formulation because |A|+|B|−|A∩B| = |A∪B| exactly.
 func BitSimRow(dst []float64, a []uint64, aOnes int, slab []uint64, ones []int32, j0, words int) {
 	po := ones[j0 : j0+len(dst)]
-	if words == 16 {
-		// The paper's default 1024-bit fingerprints: fixed-size array
-		// views eliminate bounds checks, a marching offset replaces the
-		// per-element multiply, and the AND-popcount is unrolled inline
-		// (an out-of-line helper would cost a call per column — the
-		// 32-intrinsic body is far past the inliner's budget).
-		ap := (*[16]uint64)(a)
-		base := j0 * 16
+	// Rows are scored in chunks through the count-kernel dispatch
+	// (countRun: AVX2/NEON when available, the scalar specializations
+	// otherwise), with the Jaccard division kept here in Go — exact
+	// integer counts in, one float64 divide out, so every kernel arm is
+	// bit-identical by construction. The counts scratch lives on this
+	// frame (the kernel declarations are //go:noescape), keeping the
+	// solvers' zero-allocation contract intact.
+	if aOnes == 0 {
+		// Empty query signature: every intersection is 0, so every
+		// Jaccard is exactly the 0 the scalar reference produces
+		// (0/union, or the defined 0 for an empty union).
 		for x := range dst {
-			bp := (*[16]uint64)(slab[base:])
-			base += 16
-			inter := bits.OnesCount64(ap[0]&bp[0]) + bits.OnesCount64(ap[1]&bp[1]) +
-				bits.OnesCount64(ap[2]&bp[2]) + bits.OnesCount64(ap[3]&bp[3]) +
-				bits.OnesCount64(ap[4]&bp[4]) + bits.OnesCount64(ap[5]&bp[5]) +
-				bits.OnesCount64(ap[6]&bp[6]) + bits.OnesCount64(ap[7]&bp[7]) +
-				bits.OnesCount64(ap[8]&bp[8]) + bits.OnesCount64(ap[9]&bp[9]) +
-				bits.OnesCount64(ap[10]&bp[10]) + bits.OnesCount64(ap[11]&bp[11]) +
-				bits.OnesCount64(ap[12]&bp[12]) + bits.OnesCount64(ap[13]&bp[13]) +
-				bits.OnesCount64(ap[14]&bp[14]) + bits.OnesCount64(ap[15]&bp[15])
-			union := aOnes + int(po[x]) - inter
-			if union == 0 {
-				dst[x] = 0
-			} else {
-				dst[x] = float64(inter) / float64(union)
-			}
+			dst[x] = 0
 		}
 		return
 	}
+	var cbuf [kernelChunk]int32
 	base := j0 * words
-	for x := range dst {
-		inter := andCountWords(a, slab[base:base+words])
-		base += words
-		union := aOnes + int(po[x]) - inter
-		if union == 0 {
-			dst[x] = 0
-		} else {
-			dst[x] = float64(inter) / float64(union)
+	for x0 := 0; x0 < len(dst); {
+		n := len(dst) - x0
+		if n > kernelChunk {
+			n = kernelChunk
 		}
+		countRun(cbuf[:n], a, slab[base:base+n*words], words)
+		drow := dst[x0 : x0+n]
+		prow := po[x0 : x0+n]
+		for x, c := range cbuf[:n] {
+			// aOnes > 0 bounds the union away from 0: inter ≤
+			// min(aOnes, prow[x]), so union ≥ aOnes. No zero-divide
+			// branch in the hot loop.
+			inter := int(c)
+			drow[x] = float64(inter) / float64(aOnes+int(prow[x])-inter)
+		}
+		base += n * words
+		x0 += n
 	}
 }
 
-// bitSimBatch is BitSimRow over an arbitrary member index list.
+// bitSimBatch is BitSimRow over an arbitrary member index list: the
+// rows are scattered, so each is counted through the single-row form of
+// the kernel dispatch (countOne) instead of a contiguous run call.
 func bitSimBatch(dst []float64, a []uint64, aOnes int, slab []uint64, ones []int32, js []int32, words int) {
-	if words == 16 {
-		// Same inline unroll as BitSimRow: the 32-intrinsic body is past
-		// the inliner's budget, so a helper would cost a call per
-		// candidate.
-		ap := (*[16]uint64)(a)
-		for x, j := range js {
-			bp := (*[16]uint64)(slab[int(j)*16:])
-			inter := bits.OnesCount64(ap[0]&bp[0]) + bits.OnesCount64(ap[1]&bp[1]) +
-				bits.OnesCount64(ap[2]&bp[2]) + bits.OnesCount64(ap[3]&bp[3]) +
-				bits.OnesCount64(ap[4]&bp[4]) + bits.OnesCount64(ap[5]&bp[5]) +
-				bits.OnesCount64(ap[6]&bp[6]) + bits.OnesCount64(ap[7]&bp[7]) +
-				bits.OnesCount64(ap[8]&bp[8]) + bits.OnesCount64(ap[9]&bp[9]) +
-				bits.OnesCount64(ap[10]&bp[10]) + bits.OnesCount64(ap[11]&bp[11]) +
-				bits.OnesCount64(ap[12]&bp[12]) + bits.OnesCount64(ap[13]&bp[13]) +
-				bits.OnesCount64(ap[14]&bp[14]) + bits.OnesCount64(ap[15]&bp[15])
-			union := aOnes + int(ones[j]) - inter
-			if union == 0 {
-				dst[x] = 0
-			} else {
-				dst[x] = float64(inter) / float64(union)
-			}
-		}
-		return
-	}
 	for x, j := range js {
-		inter := andCountWords(a, slab[int(j)*words:(int(j)+1)*words])
+		inter := countOne(a, slab[int(j)*words:(int(j)+1)*words], words)
 		union := aOnes + int(ones[j]) - inter
 		if union == 0 {
 			dst[x] = 0
@@ -401,22 +356,6 @@ func bitSimBatch(dst []float64, a []uint64, aOnes int, slab []uint64, ones []int
 			dst[x] = float64(inter) / float64(union)
 		}
 	}
-}
-
-// andCountWords is the AND-popcount of two equally sized word slices,
-// 4-wide unrolled for the common multiples-of-four widths.
-func andCountWords(a, b []uint64) int {
-	b = b[:len(a)] // bounds-check elimination in both loops below
-	inter := 0
-	k := 0
-	for ; k+4 <= len(a); k += 4 {
-		inter += bits.OnesCount64(a[k]&b[k]) + bits.OnesCount64(a[k+1]&b[k+1]) +
-			bits.OnesCount64(a[k+2]&b[k+2]) + bits.OnesCount64(a[k+3]&b[k+3])
-	}
-	for ; k < len(a); k++ {
-		inter += bits.OnesCount64(a[k] & b[k])
-	}
-	return inter
 }
 
 // Gather implements Localizer.

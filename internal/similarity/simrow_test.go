@@ -1,6 +1,7 @@
 package similarity
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -79,11 +80,13 @@ func checkRowsMatchSim(t *testing.T, loc *Local) {
 }
 
 // TestSimRowBitsEquivalence sweeps the bit-signature kernel across word
-// counts straddling every inner-loop regime: the w==16 specialization,
-// exact multiples of the 4-wide unroll, and odd tails.
+// counts straddling every inner-loop regime: the 8/16/32-word
+// specializations, exact multiples of the 4-wide unroll, and odd tails
+// — under whatever count kernel is active, so a vector-capable build
+// pins its assembly against the per-pair scalar Sim.
 func TestSimRowBitsEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	for _, words := range []int{1, 2, 3, 4, 5, 7, 8, 12, 15, 16, 17} {
+	for _, words := range []int{1, 2, 3, 4, 5, 7, 8, 12, 15, 16, 17, 32, 33} {
 		loc := bitsLocal(t, rng, 37, words)
 		checkRowsMatchSim(t, loc)
 	}
@@ -147,14 +150,20 @@ func TestSimRowCounting(t *testing.T) {
 }
 
 // FuzzSimRowBits cross-checks the blocked bit kernel against scalar Sim
-// on fuzz-chosen member counts, word widths, and block boundaries.
+// on fuzz-chosen member counts, word widths 1..33, and block boundaries
+// up to kernel-chunk-straddling run lengths — and re-runs every row
+// under the forced scalar kernel, asserting byte-identical output, so
+// the fuzzer hammers the vector/scalar bit-identity contract on
+// whatever hardware it runs on.
 func FuzzSimRowBits(f *testing.F) {
 	f.Add(int64(1), uint8(16), uint8(20), uint8(0), uint8(7))
 	f.Add(int64(2), uint8(1), uint8(3), uint8(1), uint8(2))
 	f.Add(int64(3), uint8(17), uint8(9), uint8(4), uint8(5))
+	f.Add(int64(4), uint8(32), uint8(129), uint8(0), uint8(130))
 	f.Fuzz(func(t *testing.T, seed int64, wordsB, mB, j0B, bsB uint8) {
-		words := 1 + int(wordsB)%20
-		m := 2 + int(mB)%40
+		defer restoreKernel()
+		words := 1 + int(wordsB)%33
+		m := 2 + int(mB)%132
 		rng := rand.New(rand.NewSource(seed))
 		loc := bitsLocal(t, rng, m, words)
 		j0 := int(j0B) % m
@@ -172,6 +181,18 @@ func FuzzSimRowBits(f *testing.F) {
 			if got, want := dst[x], loc.Sim(i, j0+x); got != want {
 				t.Fatalf("words=%d m=%d i=%d block=[%d,%d): dst[%d]=%v, Sim=%v",
 					words, m, i, j0, j1, x, got, want)
+			}
+		}
+		scalar := make([]float64, j1-j0)
+		if _, err := SelectKernel("scalar"); err != nil {
+			t.Fatal(err)
+		}
+		loc.SimRow(i, j0, j1, scalar)
+		for x := range dst {
+			if math.Float64bits(dst[x]) != math.Float64bits(scalar[x]) {
+				t.Fatalf("words=%d m=%d i=%d block=[%d,%d): dst[%d]=%x, scalar=%x",
+					words, m, i, j0, j1, x,
+					math.Float64bits(dst[x]), math.Float64bits(scalar[x]))
 			}
 		}
 	})

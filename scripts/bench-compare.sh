@@ -82,12 +82,12 @@ SOLVE_JSON="benchmarks/BENCH_solve.json"
 # row-kernel solver must be allocation-free in steady state and
 # meaningfully faster than the frozen pair-at-a-time reference on the
 # large-cluster case (where a real build's O(m²) brute-force time
-# concentrates). Locally the speedup measures ~1.5x on both cluster
-# sizes (see EXPERIMENTS.md for why the original 2x target is not
-# reachable while keeping the blocked path bit-identical to the scalar
-# one); the gate floor is 1.3x so runner noise cannot flake a true
-# regression signal, and any real loss of the gating/batching win drops
-# below it immediately.
+# concentrates). The floor is kernel-aware: with a vector count kernel
+# active (avx2/neon) the blocked path must clear 2.0x — that is the
+# whole point of the SIMD layer — while a scalar-only machine keeps the
+# pre-SIMD 1.3x floor (the gating/batching win alone; see
+# EXPERIMENTS.md). Both floors sit well under the locally measured
+# ratios so runner noise cannot flake a true regression signal.
 if [ -f "$SOLVE_JSON" ] && [ -n "$(find "$SOLVE_JSON" -mmin -60 2>/dev/null)" ]; then
   echo "local-solve record ($SOLVE_JSON):"
   cat "$SOLVE_JSON"
@@ -95,16 +95,24 @@ if [ -f "$SOLVE_JSON" ] && [ -n "$(find "$SOLVE_JSON" -mmin -60 2>/dev/null)" ];
     match($0, /"solve_speedup": *[0-9.]+/)    { split(substr($0, RSTART, RLENGTH), a, ": *"); speedup = a[2] + 0 }
     match($0, /"small_speedup": *[0-9.]+/)    { split(substr($0, RSTART, RLENGTH), a, ": *"); small = a[2] + 0 }
     match($0, /"allocs_per_solve": *[0-9.]+/) { split(substr($0, RSTART, RLENGTH), a, ": *"); allocs = a[2] + 0 }
+    match($0, /"kernel": *"[^"]*"/)           { split(substr($0, RSTART, RLENGTH), a, "\""); kernel = a[4] }
+    match($0, /"kernel_speedup": *[0-9.]+/)   { split(substr($0, RSTART, RLENGTH), a, ": *"); kspeed = a[2] + 0 }
     END {
       if (allocs != 0) {
         printf("blocked local solve allocates (%.2f allocs/solve), want 0\n", allocs) > "/dev/stderr"
         exit 1
       }
-      if (speedup < 1.3) {
-        printf("blocked local solve only %.2fx over the scalar reference, want >= 1.3x\n", speedup) > "/dev/stderr"
+      floor = 1.3
+      if (kernel != "" && kernel != "scalar") floor = 2.0
+      if (speedup < floor) {
+        printf("blocked local solve only %.2fx over the scalar reference (kernel %s), want >= %.1fx\n", speedup, kernel, floor) > "/dev/stderr"
         exit 1
       }
-      printf("solve gate ok: blocked %.2fx scalar on the large cluster (%.2fx small), 0 allocs/solve\n", speedup, small)
+      if (kernel != "" && kernel != "scalar" && kspeed < 1.1) {
+        printf("%s count kernel only %.2fx over forced-scalar counts, want >= 1.1x\n", kernel, kspeed) > "/dev/stderr"
+        exit 1
+      }
+      printf("solve gate ok [kernel %s]: blocked %.2fx scalar on the large cluster (%.2fx small, kernel alone %.2fx), 0 allocs/solve\n", kernel, speedup, small, kspeed)
     }
   ' "$SOLVE_JSON"
 elif [ -f "$SOLVE_JSON" ]; then

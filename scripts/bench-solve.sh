@@ -12,4 +12,5 @@ WORKERS="${SOLVE_WORKERS:-4}"
 mkdir -p benchmarks
 go run ./cmd/c2bench -exp solve -scale "$SCALE" -workers "$WORKERS" \
   -json benchmarks/BENCH_solve.json
-echo "wrote benchmarks/BENCH_solve.json"
+KERNEL="$(sed -n 's/.*"kernel": *"\([^"]*\)".*/\1/p' benchmarks/BENCH_solve.json | head -n1)"
+echo "wrote benchmarks/BENCH_solve.json (count kernel: ${KERNEL:-unknown})"
