@@ -125,8 +125,13 @@ func BenchmarkServeLoadIndex(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := c2knn.LoadIndex(path); err != nil {
+		ix, err := c2knn.LoadIndex(path)
+		if err != nil {
 			b.Fatal(err)
 		}
+		// Close releases the iteration's mapping (when mmap-loaded);
+		// without it b.N mappings would accumulate for the benchmark's
+		// lifetime.
+		ix.Close()
 	}
 }

@@ -10,7 +10,7 @@
 //	c2bench -exp all -scale 0.05 -workers 4
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// theory, ablations, pipeline, serve, serve-http, solve, shard, all.
+// theory, ablations, pipeline, serve, serve-http, solve, shard, load, all.
 package main
 
 import (
@@ -27,8 +27,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, serve-http, solve, shard, all")
-		jsonOut  = flag.String("json", "", "write the pipeline/serve/serve-http/solve/shard experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json, BENCH_serve.json, BENCH_http.json, BENCH_solve.json and BENCH_shard.json); when several such experiments run, the experiment name is inserted before the extension")
+		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, serve-http, solve, shard, load, all")
+		jsonOut  = flag.String("json", "", "write the pipeline/serve/serve-http/solve/shard/load experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json, BENCH_serve.json, BENCH_http.json, BENCH_solve.json, BENCH_shard.json and BENCH_load.json); when several such experiments run, the experiment name is inserted before the extension")
 		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1 = paper size)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 42, "master random seed")
@@ -102,8 +102,15 @@ func main() {
 			}
 			return writeSummary(jsonPath("shard"), sum)
 		},
+		"load": func() error {
+			sum, err := env.Load()
+			if err != nil {
+				return err
+			}
+			return writeSummary(jsonPath("load"), sum)
+		},
 	}
-	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve", "serve-http", "solve", "shard"}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve", "serve-http", "solve", "shard", "load"}
 
 	var toRun []string
 	if *exp == "all" {
@@ -125,7 +132,7 @@ func main() {
 	// (out.json → out.pipeline.json, out.serve.json, out.solve.json).
 	jsonProducers := 0
 	for _, name := range toRun {
-		if name == "pipeline" || name == "serve" || name == "serve-http" || name == "solve" || name == "shard" {
+		if name == "pipeline" || name == "serve" || name == "serve-http" || name == "solve" || name == "shard" || name == "load" {
 			jsonProducers++
 		}
 	}

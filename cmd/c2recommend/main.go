@@ -106,11 +106,12 @@ func main() {
 // slightly optimistic versus a per-fold rebuild — the output says so.
 func serveFromSnapshot(path string, nRec, folds int, seed int64, workers int) {
 	start := time.Now()
-	snap, err := persist.ReadFile(path)
+	snap, err := persist.LoadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "c2recommend: %v\n", err)
 		os.Exit(1)
 	}
+	defer snap.Close()
 	if snap.Graph == nil || snap.Train == nil {
 		fmt.Fprintf(os.Stderr, "c2recommend: snapshot %s lacks a graph or dataset section\n", path)
 		os.Exit(1)

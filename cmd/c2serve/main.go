@@ -5,7 +5,10 @@
 //     -snap into a c2knn.Index and answer queries from it — the query
 //     side of the build-once/serve-many split. With a per-shard
 //     snapshot (c2build -shards) the process serves one shard of a
-//     partitioned corpus.
+//     partitioned corpus. -load picks the snapshot materialization:
+//     auto (the default) memory-maps v2 snapshots so cold start is a
+//     page-cache hit and co-hosted replicas share one physical copy,
+//     mmap requires that path, copy forces the legacy decode-to-heap.
 //   - -role router: stateless scatter-gather tier. Loads a shard
 //     manifest (c2build -shards writes it next to the snapshot), wires
 //     the bucket-range table to replica addresses from -shard-addrs,
@@ -82,6 +85,7 @@ import (
 func main() {
 	var (
 		snap    = flag.String("snap", "", "snapshot file written by c2build -snap (required)")
+		load    = flag.String("load", "auto", "snapshot load mode: auto (mmap when possible), mmap (require zero-copy), copy (decode to heap)")
 		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
 		pool    = flag.Int("pool", 0, "max concurrent queries (0 = 4x GOMAXPROCS)")
 		cache   = flag.Int("cache", 4096, "result cache entries (negative disables caching)")
@@ -129,8 +133,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	loadMode, err := c2knn.ParseLoadMode(*load)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "c2serve: %v\n", err)
+		os.Exit(2)
+	}
+
 	start := time.Now()
-	ix, err := c2knn.LoadIndex(*snap)
+	ix, err := c2knn.LoadIndexMode(*snap, loadMode)
 	if err != nil {
 		switch {
 		case errors.Is(err, c2knn.ErrSnapshotVersion):
@@ -140,10 +150,15 @@ func main() {
 		}
 		log.Fatalf("load: %v", err)
 	}
-	log.Printf("loaded %s in %v: %d users, k=%d", *snap, time.Since(start).Round(time.Millisecond), ix.NumUsers(), ix.K())
+	via := "copy decode"
+	if ix.Mapped() {
+		via = "mmap (zero-copy)"
+	}
+	log.Printf("loaded %s in %v via %s: %d users, k=%d", *snap, time.Since(start).Round(time.Millisecond), via, ix.NumUsers(), ix.K())
 
 	cfg := server.Config{
 		SnapshotPath:   *snap,
+		LoadMode:       loadMode,
 		MaxConcurrent:  *pool,
 		CacheEntries:   *cache,
 		CacheShards:    *shards,

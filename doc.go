@@ -119,18 +119,36 @@
 //
 // Save/LoadIndex (and c2build -snap / c2recommend -graph) use a
 // versioned, checksummed binary container. Layout, all little-endian:
-// an 8-byte magic "C2SNAP\r\n", a uint32 format version, and a uint32
-// section count, followed by sections of {uint32 type, uint64 payload
-// length, payload, uint32 CRC-32C of the payload}. Section types:
-// 1 = frozen graph (k, user count, edge count, per-user degrees, flat
-// neighbor ids, flat float32 similarity bits), 2 = dataset (name, item
-// universe, per-user profile lengths, flat item ids), 3 = GoldFinger
-// signatures (width in bits, user count, flat uint64 words). Decoding
-// validates framing, checksums, structural invariants and
-// cross-section user counts, and on any failure returns an error and
-// no snapshot — truncated files, flipped bytes, and version skew never
-// panic and never yield a partially populated index. See
-// internal/persist for the full specification.
+// an 8-byte magic "C2SNAP\r\n", a uint32 format version (currently 2),
+// and a uint32 section count, followed by sections of {uint32 type,
+// uint64 payload length, zero padding to the next 64-byte file offset,
+// payload, uint32 CRC-32C of the payload}. Section types: 1 = frozen
+// graph (k, user count, edge count, CSR offsets, flat neighbor ids,
+// flat float32 similarity bits), 2 = dataset (name, item universe,
+// per-user profile lengths, flat item ids), 3 = GoldFinger signatures
+// (width in bits, user count, per-user popcounts, flat uint64 words).
+// Every array slab inside a payload sits at a 64-byte-aligned file
+// offset. Decoding validates framing, checksums, structural invariants
+// and cross-section user counts, and on any failure returns an error
+// and no snapshot — truncated files, flipped bytes, and version skew
+// never panic and never yield a partially populated index. Version-1
+// files (the legacy packed layout) still load, via the copy path only.
+// See internal/persist for the full specification.
+//
+// Because version-2 slabs are 64-byte-aligned, LoadIndex can serve an
+// index directly from a read-only memory mapping of the file: no
+// decode copy, near-constant time-to-first-query regardless of
+// snapshot size, and every replica on a host sharing one physical copy
+// of the data through the page cache. The mode is selected by the
+// C2_LOAD environment variable or LoadIndexMode ("auto" maps when the
+// file and platform allow and copy-decodes otherwise; "copy" and
+// "mmap" force a path). Mapped indexes report Mapped() and follow the
+// Retain/Release/Close lifetime protocol during hot swaps; built or
+// copy-loaded indexes are exempt (Retain always succeeds, Close is a
+// no-op). One operational rule follows: never modify a snapshot file
+// in place while any process may be serving it — replace it atomically
+// (write to a temp file, then rename, exactly what Index.Save does),
+// which leaves live mappings on the old inode intact.
 //
 // # Serving over HTTP
 //

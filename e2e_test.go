@@ -624,11 +624,12 @@ func TestE2EShardedServe(t *testing.T) {
 			if len(st.Router.Shards) != 2 || st.Router.Shards[0].EpochSkew || !st.Router.Shards[1].EpochSkew {
 				t.Fatalf("skew misattributed: %+v", st.Router.Shards)
 			}
-			if st.ReloadFailures == 0 || st.LastReloadKind != "epoch-skew" {
-				t.Fatalf("skew not surfaced through reload-failure plumbing: failures=%d kind=%q",
-					st.ReloadFailures, st.LastReloadKind)
+			// The skew flag and the reload-failure record are updated by
+			// separate poll paths; keep polling until both have landed
+			// rather than judging the counter at first skew sighting.
+			if st.ReloadFailures > 0 && st.LastReloadKind == "epoch-skew" {
+				break
 			}
-			break
 		}
 		if time.Now().After(skewDeadline) {
 			t.Fatal("router did not surface epoch skew within 60s of a one-replica hot swap")

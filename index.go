@@ -3,6 +3,7 @@ package c2knn
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"c2knn/internal/dataset"
 	"c2knn/internal/goldfinger"
@@ -49,6 +50,12 @@ type Index struct {
 	train   *dataset.Dataset
 	gf      *goldfinger.Set
 	scorers sync.Pool
+
+	// mapping is non-nil when the artifacts above are views over a
+	// memory-mapped snapshot; the Index holds the mapping's creation
+	// reference until Close. Nil for built or copy-loaded indexes.
+	mapping *persist.Mapping
+	closed  atomic.Bool
 }
 
 // NewIndex freezes g and bundles it with its training dataset. sim may
@@ -71,20 +78,115 @@ func newFrozenIndex(f *knng.Frozen, train *dataset.Dataset, gf *goldfinger.Set) 
 	return ix, nil
 }
 
+// LoadMode selects how LoadIndexMode materializes a snapshot file;
+// re-exported from the persistence layer.
+type LoadMode = persist.LoadMode
+
+const (
+	// LoadAuto memory-maps when the file and platform allow it (v2
+	// snapshots on unix little-endian hosts) and copy-decodes otherwise.
+	LoadAuto = persist.LoadAuto
+	// LoadCopy always decode-and-copies; the index owns heap memory and
+	// needs no lifetime discipline.
+	LoadCopy = persist.LoadCopy
+	// LoadMMap requires the zero-copy mapped path and fails when it is
+	// unavailable (v1 file, non-mmap platform).
+	LoadMMap = persist.LoadMMap
+)
+
+// ParseLoadMode parses "auto" (or ""), "copy", or "mmap" — the values
+// the c2serve -load flag and the C2_LOAD environment variable accept.
+func ParseLoadMode(s string) (LoadMode, error) { return persist.ParseLoadMode(s) }
+
 // LoadIndex reads an Index from a snapshot file written by Save (or by
-// c2build -snap). The snapshot must carry at least a graph and a
-// dataset; decoding validates structure, checksums and cross-section
-// consistency, so a corrupt file returns an error and never a
-// partially usable index.
+// c2build -snap), honoring the C2_LOAD environment variable ("auto"
+// when unset). The snapshot must carry at least a graph and a dataset;
+// loading validates structure, checksums and cross-section consistency,
+// so a corrupt file returns an error and never a partially usable
+// index.
+//
+// The returned index may serve directly from a memory mapping (see
+// Mapped); callers that discard an index while other goroutines might
+// still be querying it must use the Retain/Release protocol and Close
+// it when done. Indexes built in process or copy-loaded are unaffected
+// (Close is a no-op, Retain always succeeds).
 func LoadIndex(path string) (*Index, error) {
-	snap, err := persist.ReadFile(path)
+	snap, err := persist.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
+	return indexFromSnapshot(path, snap)
+}
+
+// LoadIndexMode is LoadIndex with an explicit load mode, ignoring
+// C2_LOAD.
+func LoadIndexMode(path string, mode LoadMode) (*Index, error) {
+	snap, err := persist.LoadFileMode(path, mode)
+	if err != nil {
+		return nil, err
+	}
+	return indexFromSnapshot(path, snap)
+}
+
+// indexFromSnapshot wraps a loaded snapshot, taking over its mapping
+// reference (if any): from here the Index owns the mapping and releases
+// it in Close.
+func indexFromSnapshot(path string, snap *persist.Snapshot) (*Index, error) {
 	if snap.Graph == nil || snap.Train == nil {
+		snap.Close()
 		return nil, fmt.Errorf("c2knn: snapshot %s lacks a graph or dataset section; not servable", path)
 	}
-	return newFrozenIndex(snap.Graph, snap.Train, snap.GoldFinger)
+	ix, err := newFrozenIndex(snap.Graph, snap.Train, snap.GoldFinger)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	ix.mapping = snap.Mapping
+	return ix, nil
+}
+
+// Mapped reports whether the index serves directly from a memory-mapped
+// snapshot (and therefore needs the Retain/Release/Close lifetime
+// protocol when hot-swapped).
+func (ix *Index) Mapped() bool { return ix.mapping != nil }
+
+// Retain takes a reference for the duration of a request, reporting
+// success. For unmapped indexes it always succeeds at no cost. For
+// mapped indexes it fails once Close has begun tearing the mapping
+// down — the caller must then re-resolve the current index (a hot swap
+// has replaced this one) instead of touching its views.
+func (ix *Index) Retain() bool {
+	if ix.mapping == nil {
+		return true
+	}
+	// The closed check, not just the refcount, gates new queries: while
+	// earlier retains are still draining the mapping's count stays
+	// positive, and without this a request racing a hot swap could start
+	// on the retired epoch instead of re-resolving the current one.
+	if ix.closed.Load() {
+		return false
+	}
+	return ix.mapping.Retain()
+}
+
+// Release drops a reference taken by a successful Retain.
+func (ix *Index) Release() {
+	if ix.mapping != nil {
+		ix.mapping.Release()
+	}
+}
+
+// Close releases the index's own reference to its backing mapping; the
+// mapping is unmapped once the last in-flight Retain is Released.
+// Queries must not start after Close (Retain refuses), but queries that
+// retained before Close drain safely. Idempotent; a no-op for unmapped
+// indexes.
+func (ix *Index) Close() error {
+	if ix.mapping == nil || !ix.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	ix.mapping.Release()
+	return nil
 }
 
 // Save writes the index to path in the snapshot format (atomically:

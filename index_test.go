@@ -272,3 +272,110 @@ func TestLoadIndexRejectsGraphlessSnapshot(t *testing.T) {
 		t.Error("LoadIndex of a missing file succeeded")
 	}
 }
+
+// TestLoadIndexModeEquivalence: a zero-copy mapped index and a
+// copy-decoded index of the same snapshot must be observationally
+// identical — same neighbor lists, same similarity values, same
+// recommendations — since the serving layer picks between them purely
+// on platform capability.
+func TestLoadIndexModeEquivalence(t *testing.T) {
+	ix := buildTestIndex(t)
+	path := filepath.Join(t.TempDir(), "index.c2")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := c2knn.LoadIndexMode(path, c2knn.LoadCopy)
+	if err != nil {
+		t.Fatalf("LoadIndexMode(copy): %v", err)
+	}
+	defer cp.Close()
+	if cp.Mapped() {
+		t.Fatal("copy-loaded index reports Mapped")
+	}
+	mm, err := c2knn.LoadIndexMode(path, c2knn.LoadMMap)
+	if err != nil {
+		t.Skipf("mmap unavailable on this platform: %v", err)
+	}
+	defer mm.Close()
+	if !mm.Mapped() {
+		t.Fatal("mmap-loaded index does not report Mapped")
+	}
+	if mm.NumUsers() != cp.NumUsers() || mm.K() != cp.K() {
+		t.Fatalf("index shapes differ: mapped (%d users, k=%d), copy (%d, %d)",
+			mm.NumUsers(), mm.K(), cp.NumUsers(), cp.K())
+	}
+	for u := int32(0); u < int32(cp.NumUsers()); u++ {
+		mids, msims := mm.Neighbors(u)
+		cids, csims := cp.Neighbors(u)
+		if len(mids) != len(cids) {
+			t.Fatalf("user %d: mapped degree %d, copy %d", u, len(mids), len(cids))
+		}
+		for i := range cids {
+			if mids[i] != cids[i] || msims[i] != csims[i] {
+				t.Fatalf("user %d edge %d differs between load modes", u, i)
+			}
+		}
+	}
+	for u := int32(0); u < int32(cp.NumUsers()); u += 13 {
+		mrec, crec := mm.Recommend(u, 10), cp.Recommend(u, 10)
+		if len(mrec) != len(crec) {
+			t.Fatalf("user %d: mapped recommends %d items, copy %d", u, len(mrec), len(crec))
+		}
+		for i := range crec {
+			if mrec[i] != crec[i] {
+				t.Fatalf("user %d: recommendations differ between load modes", u)
+			}
+		}
+	}
+}
+
+// TestIndexMappedLifecycle drives the Retain/Release/Close discipline a
+// hot-swapping server depends on: queries retain around access, Close
+// refuses new retains while letting retained queries drain, and a
+// built/copy-loaded index is exempt from all of it.
+func TestIndexMappedLifecycle(t *testing.T) {
+	built := buildTestIndex(t)
+	if built.Mapped() {
+		t.Fatal("in-process index reports Mapped")
+	}
+	if !built.Retain() {
+		t.Fatal("Retain on an unmapped index must always succeed")
+	}
+	built.Release()
+	if err := built.Close(); err != nil {
+		t.Fatalf("Close of an unmapped index: %v", err)
+	}
+	if !built.Retain() {
+		t.Fatal("unmapped index refused Retain after no-op Close")
+	}
+	built.Release()
+
+	path := filepath.Join(t.TempDir(), "index.c2")
+	if err := built.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	mm, err := c2knn.LoadIndexMode(path, c2knn.LoadMMap)
+	if err != nil {
+		t.Skipf("mmap unavailable on this platform: %v", err)
+	}
+	if !mm.Retain() {
+		t.Fatal("Retain on a live mapped index failed")
+	}
+	// A retained in-flight query survives Close: the mapping drains
+	// instead of unmapping under the query's feet.
+	if err := mm.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if mm.Retain() {
+		t.Fatal("Retain succeeded after Close — new queries must be refused")
+	}
+	ids, _ := mm.Neighbors(0) // still retained: views remain valid
+	_ = ids
+	mm.Release()
+	if mm.Retain() {
+		t.Fatal("mapping resurrected after the last reference drained")
+	}
+	if err := mm.Close(); err != nil {
+		t.Fatalf("second Close must stay a no-op: %v", err)
+	}
+}

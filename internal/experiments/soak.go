@@ -497,11 +497,19 @@ func (e *Env) Soak(opts SoakOptions) (*SoakSummary, error) {
 // (must refuse with 503/"corrupt" and keep serving the old epoch,
 // bit-for-bit), then restores the good bytes and reloads again (must
 // succeed and advance the epoch) — the operator runbook, mid-load.
+//
+// The damage is done by atomic replacement (temp + rename), never by
+// writing the path in place: the serving epoch may be a MAP_SHARED
+// view of the file's inode, so in-place truncation would SIGBUS the
+// daemon mid-query and in-place byte edits would silently corrupt live
+// answers. Rename swaps the directory entry and leaves the mapped
+// inode untouched — the same contract persist.WriteFile gives every
+// legitimate snapshot writer.
 func runCorrupt(sum *SoakSummary, client *http.Client, base string, srv *server.Server,
 	snap string, good []byte, expected [][]int32, nRec int, countStatus func(int),
 	queries, unexpected *atomic.Int64) {
 	epochBefore := srv.Epoch()
-	if err := os.WriteFile(snap, good[:len(good)/2], 0o644); err != nil {
+	if err := replaceFile(snap, good[:len(good)/2]); err != nil {
 		unexpected.Add(1)
 		return
 	}
@@ -538,7 +546,7 @@ func runCorrupt(sum *SoakSummary, client *http.Client, base string, srv *server.
 		slices.Equal(rec.Items, expected[0])
 
 	// Restore and reload: the runbook's recovery step.
-	if err := os.WriteFile(snap, good, 0o644); err != nil {
+	if err := replaceFile(snap, good); err != nil {
 		unexpected.Add(1)
 		return
 	}
@@ -608,6 +616,26 @@ func reconcileMetrics(client *http.Client, base string, statusCount map[string]i
 	}
 	slices.Sort(diffs)
 	return strings.Join(diffs, "; ")
+}
+
+// replaceFile atomically replaces path's directory entry with the given
+// bytes via a same-directory temp file and rename, leaving the old
+// inode — possibly still memory-mapped by a serving epoch — untouched.
+func replaceFile(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".soak-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // drain empties and closes a response body so its connection can be

@@ -167,3 +167,35 @@ func FromSignatures(bitsN, n int, sigs []uint64) (*Set, error) {
 	}
 	return s, nil
 }
+
+// FromParts reconstructs a Set from a signature block and its matching
+// per-user popcounts, aliasing both slices — the zero-copy counterpart
+// of FromSignatures for snapshot formats that persist the popcounts
+// alongside the signatures (both slices may view read-only mapped
+// memory). Lengths are validated and each popcount range-checked
+// against the fingerprint width; popcounts are not recomputed, so the
+// caller must have integrity evidence for the bytes (the snapshot
+// loader checksums them). A wrong-but-in-range popcount skews the
+// similarity estimate; it cannot cause out-of-range indexing.
+func FromParts(bitsN, n int, sigs []uint64, ones []int32) (*Set, error) {
+	if bitsN <= 0 || bitsN%64 != 0 {
+		return nil, fmt.Errorf("goldfinger: bits must be a positive multiple of 64, got %d", bitsN)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("goldfinger: negative user count %d", n)
+	}
+	words := bitsN / 64
+	if len(sigs) != n*words {
+		return nil, fmt.Errorf("goldfinger: signature block has %d words, want %d users × %d words",
+			len(sigs), n, words)
+	}
+	if len(ones) != n {
+		return nil, fmt.Errorf("goldfinger: popcount block has %d entries, want %d", len(ones), n)
+	}
+	for u, c := range ones {
+		if c < 0 || int(c) > bitsN {
+			return nil, fmt.Errorf("goldfinger: user %d popcount %d outside [0,%d]", u, c, bitsN)
+		}
+	}
+	return &Set{bits: bitsN, words: words, n: n, sigs: sigs, ones: ones}, nil
+}

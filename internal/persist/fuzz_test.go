@@ -5,12 +5,18 @@ import (
 	"testing"
 )
 
-// FuzzDecode drives arbitrary bytes through the snapshot decoder. The
-// invariants: never panic, never return a snapshot alongside an error,
-// and anything that decodes successfully must survive a re-encode /
-// re-decode cycle (i.e. only self-consistent snapshots are accepted).
+// FuzzDecode drives arbitrary bytes through both snapshot decoders.
+// The invariants: never panic, never return a snapshot alongside an
+// error, anything that decodes successfully must survive a re-encode /
+// re-decode cycle (i.e. only self-consistent snapshots are accepted),
+// and the streaming copy decoder and the whole-image view decoder (the
+// mmap path, run over a 64-byte-aligned copy) must agree on accept vs
+// reject for every input — the property that makes load-mode fallback
+// safe.
 func FuzzDecode(f *testing.F) {
 	f.Add(encodeBytes(f, tinySnapshot(f)))
+	v1, _ := v1TinyFile(f)
+	f.Add(v1)
 	full := tinySnapshot(f)
 	f.Add(encodeBytes(f, &Snapshot{Graph: full.Graph}))
 	f.Add(encodeBytes(f, &Snapshot{Train: full.Train}))
@@ -23,6 +29,13 @@ func FuzzDecode(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		snap, err := Decode(bytes.NewReader(data))
+		vsnap, verr := decodeAll(alignedCopy(data), true)
+		if (err == nil) != (verr == nil) {
+			t.Fatalf("copy/view decoders disagree: copy err=%v, view err=%v", err, verr)
+		}
+		if verr != nil && vsnap != nil {
+			t.Fatal("view decode returned a snapshot together with an error")
+		}
 		if err != nil {
 			if snap != nil {
 				t.Fatal("Decode returned a snapshot together with an error")

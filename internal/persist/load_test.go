@@ -1,0 +1,631 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+// alignedCopy copies b into a buffer whose base address is 64-byte
+// aligned — the alignment a page-aligned mmap gives the real view path,
+// and the precondition decodeAll's view mode asserts before casting
+// slabs with unsafe.Slice. Tests that drive the view decoder over
+// arbitrary byte images must route them through this.
+func alignedCopy(b []byte) []byte {
+	buf := make([]byte, len(b)+63)
+	off := 0
+	if r := uintptr(unsafe.Pointer(&buf[0])) % 64; r != 0 {
+		off = int(64 - r)
+	}
+	out := buf[off : off+len(b) : off+len(b)]
+	copy(out, b)
+	return out
+}
+
+// findSection walks the version-2 framing and returns the payload range
+// of the first section with the given type. The trailing CRC-32C sits
+// at payEnd.
+func findSection(tb testing.TB, data []byte, typ uint32) (payStart, payEnd int) {
+	tb.Helper()
+	count := binary.LittleEndian.Uint32(data[12:16])
+	off := 16
+	for i := uint32(0); i < count; i++ {
+		st := binary.LittleEndian.Uint32(data[off:])
+		length := int(binary.LittleEndian.Uint64(data[off+4:]))
+		off += 12
+		off += pad64(uint64(off))
+		if st == typ {
+			return off, off + length
+		}
+		off += length + 4
+	}
+	tb.Fatalf("no section of type %d in %d-byte image", typ, len(data))
+	return 0, 0
+}
+
+// patchSection returns a copy of data with the given section's payload
+// mutated and its CRC-32C recomputed to match, so the corruption under
+// test reaches the payload decoder instead of being caught by the
+// checksum.
+func patchSection(tb testing.TB, data []byte, typ uint32, mutate func(payload []byte)) []byte {
+	tb.Helper()
+	out := append([]byte(nil), data...)
+	s, e := findSection(tb, out, typ)
+	mutate(out[s:e])
+	binary.LittleEndian.PutUint32(out[e:], crc32.Checksum(out[s:e], crcTable))
+	return out
+}
+
+// decodeBothPaths runs the same image through the streaming copy
+// decoder and the whole-image view decoder (over an aligned copy) and
+// checks they agree on accept vs reject; it returns the copy path's
+// result.
+func decodeBothPaths(tb testing.TB, data []byte) (*Snapshot, error) {
+	tb.Helper()
+	cs, cerr := Decode(bytes.NewReader(data))
+	vs, verr := decodeAll(alignedCopy(data), true)
+	if (cerr == nil) != (verr == nil) {
+		tb.Fatalf("copy/view decoders disagree: copy err=%v, view err=%v", cerr, verr)
+	}
+	if verr == nil && vs == nil {
+		tb.Fatal("view decode returned nil snapshot without error")
+	}
+	return cs, cerr
+}
+
+// writeSnap writes s to a fresh temp file and returns its path.
+func writeSnap(tb testing.TB, s *Snapshot) string {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "snap.c2")
+	if err := WriteFile(path, s); err != nil {
+		tb.Fatalf("WriteFile: %v", err)
+	}
+	return path
+}
+
+// mapOrSkip maps path, skipping the test on platforms where the mmap
+// path is unavailable (the copy decoder is then the only path and is
+// covered elsewhere).
+func mapOrSkip(tb testing.TB, path string) *Snapshot {
+	tb.Helper()
+	s, err := MapFile(path)
+	if errors.Is(err, ErrMapUnavailable) {
+		tb.Skipf("mmap unavailable on this platform: %v", err)
+	}
+	if err != nil {
+		tb.Fatalf("MapFile: %v", err)
+	}
+	return s
+}
+
+// sameSnapshotBits asserts got and want carry bit-identical artifacts:
+// raw CSR arrays (similarities compared as float bits, so a decoder
+// that altered a NaN payload or flipped -0/+0 would fail), dataset
+// profiles, and fingerprint slabs.
+func sameSnapshotBits(tb testing.TB, got, want *Snapshot) {
+	tb.Helper()
+	g, w := got.Graph, want.Graph
+	if g.K != w.K || g.NumUsers() != w.NumUsers() || g.NumEdges() != w.NumEdges() {
+		tb.Fatalf("graph shape: k=%d n=%d m=%d, want k=%d n=%d m=%d",
+			g.K, g.NumUsers(), g.NumEdges(), w.K, w.NumUsers(), w.NumEdges())
+	}
+	for i := range w.Offsets {
+		if g.Offsets[i] != w.Offsets[i] {
+			tb.Fatalf("offset %d: %d, want %d", i, g.Offsets[i], w.Offsets[i])
+		}
+	}
+	for i := range w.IDs {
+		if g.IDs[i] != w.IDs[i] {
+			tb.Fatalf("id %d: %d, want %d", i, g.IDs[i], w.IDs[i])
+		}
+	}
+	for i := range w.Sims {
+		if math.Float32bits(g.Sims[i]) != math.Float32bits(w.Sims[i]) {
+			tb.Fatalf("sim %d: %x, want %x", i, math.Float32bits(g.Sims[i]), math.Float32bits(w.Sims[i]))
+		}
+	}
+	gt, wt := got.Train, want.Train
+	if gt.Name != wt.Name || gt.NumItems != wt.NumItems || gt.NumUsers() != wt.NumUsers() {
+		tb.Fatalf("dataset header: %q/%d/%d, want %q/%d/%d",
+			gt.Name, gt.NumItems, gt.NumUsers(), wt.Name, wt.NumItems, wt.NumUsers())
+	}
+	for u, p := range wt.Profiles {
+		gp := gt.Profiles[u]
+		if len(gp) != len(p) {
+			tb.Fatalf("user %d profile length %d, want %d", u, len(gp), len(p))
+		}
+		for i := range p {
+			if gp[i] != p[i] {
+				tb.Fatalf("user %d item %d: %d, want %d", u, i, gp[i], p[i])
+			}
+		}
+	}
+	gf, wf := got.GoldFinger, want.GoldFinger
+	if gf.Bits() != wf.Bits() || gf.NumUsers() != wf.NumUsers() {
+		tb.Fatalf("fingerprints: bits=%d n=%d, want bits=%d n=%d",
+			gf.Bits(), gf.NumUsers(), wf.Bits(), wf.NumUsers())
+	}
+	gs, ws := gf.Signatures(), wf.Signatures()
+	for i := range ws {
+		if gs[i] != ws[i] {
+			tb.Fatalf("signature word %d: %#x, want %#x", i, gs[i], ws[i])
+		}
+	}
+	for u := 0; u < wf.NumUsers(); u++ {
+		if gf.Ones(int32(u)) != wf.Ones(int32(u)) {
+			tb.Fatalf("ones[%d]: %d, want %d", u, gf.Ones(int32(u)), wf.Ones(int32(u)))
+		}
+	}
+}
+
+// TestMapFileMatchesReadFile: the zero-copy view and the portable copy
+// decode of the same file must produce bit-identical artifacts — the
+// equivalence the serving layer's load-mode fallback relies on.
+func TestMapFileMatchesReadFile(t *testing.T) {
+	want := ml1MSnapshot(t)
+	path := writeSnap(t, want)
+	mm := mapOrSkip(t, path)
+	defer mm.Close()
+	if mm.Mapping == nil {
+		t.Fatal("MapFile returned a snapshot without a Mapping")
+	}
+	if refs := mm.Mapping.Refs(); refs != 1 {
+		t.Fatalf("fresh mapping holds %d refs, want 1", refs)
+	}
+	cp, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if cp.Mapping != nil {
+		t.Fatal("copy decode produced a Mapping")
+	}
+	sameSnapshotBits(t, mm, cp)
+	sameSnapshotBits(t, mm, want)
+}
+
+// TestDecodeAllViewTruncated mirrors TestDecodeTruncated on the mmap
+// view path: every prefix of a valid image must be rejected.
+func TestDecodeAllViewTruncated(t *testing.T) {
+	data := encodeBytes(t, tinySnapshot(t))
+	for cut := 0; cut < len(data); cut++ {
+		snap, err := decodeAll(alignedCopy(data[:cut]), true)
+		if err == nil || snap != nil {
+			t.Fatalf("view decode of %d/%d-byte truncation: snap=%v err=%v", cut, len(data), snap, err)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: error %v not tagged ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestDecodeAllViewBitFlips mirrors TestDecodeBitFlips on the view
+// path: a flipped byte anywhere in the image must be detected before a
+// snapshot built on poisoned views escapes.
+func TestDecodeAllViewBitFlips(t *testing.T) {
+	data := encodeBytes(t, tinySnapshot(t))
+	mut := make([]byte, len(data))
+	for i := range data {
+		copy(mut, data)
+		mut[i] ^= 0xA5
+		snap, err := decodeAll(alignedCopy(mut), true)
+		if err == nil || snap != nil {
+			t.Fatalf("view decode missed flip at byte %d/%d: snap=%v err=%v", i, len(data), snap, err)
+		}
+	}
+}
+
+// TestMapFileRejectsCorruptFile: damage must fail loudly on the mmap
+// path with ErrCorrupt — not ErrMapUnavailable — so auto mode never
+// papers over a bad file by silently copy-decoding it.
+func TestMapFileRejectsCorruptFile(t *testing.T) {
+	good := encodeBytes(t, tinySnapshot(t))
+	dir := t.TempDir()
+	cases := map[string][]byte{
+		"truncated.c2": good[:len(good)/2],
+		"flipped.c2":   patchRaw(good, len(good)/2),
+	}
+	for name, data := range cases {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := MapFile(path)
+		if errors.Is(err, ErrMapUnavailable) {
+			t.Skipf("mmap unavailable on this platform: %v", err)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: MapFile error = %v, want ErrCorrupt", name, err)
+		}
+		if snap, err := LoadFileMode(path, LoadAuto); err == nil {
+			snap.Close()
+			t.Fatalf("%s: auto mode fell back to copy-decoding a corrupt file", name)
+		}
+	}
+}
+
+func patchRaw(data []byte, at int) []byte {
+	out := append([]byte(nil), data...)
+	out[at] ^= 0xA5
+	return out
+}
+
+// --- version-1 compatibility ---
+
+func le32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func le64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+// v1TinyFile hand-builds a version-1 snapshot file (packed layout, no
+// alignment padding) carrying tinySnapshot's graph and dataset, using
+// the v1 payload encodings this build no longer writes.
+func v1TinyFile(tb testing.TB) ([]byte, *Snapshot) {
+	tb.Helper()
+	want := tinySnapshot(tb)
+	f, d := want.Graph, want.Train
+
+	var gp []byte
+	gp = le32(gp, uint32(f.K))
+	gp = le64(gp, uint64(f.NumUsers()))
+	gp = le64(gp, uint64(f.NumEdges()))
+	for u := 0; u < f.NumUsers(); u++ {
+		gp = le32(gp, uint32(f.Offsets[u+1]-f.Offsets[u]))
+	}
+	for _, id := range f.IDs {
+		gp = le32(gp, uint32(id))
+	}
+	for _, s := range f.Sims {
+		gp = le32(gp, math.Float32bits(s))
+	}
+
+	var dp []byte
+	dp = binary.LittleEndian.AppendUint16(dp, uint16(len(d.Name)))
+	dp = append(dp, d.Name...)
+	dp = le32(dp, uint32(d.NumItems))
+	dp = le64(dp, uint64(d.NumUsers()))
+	dp = le64(dp, uint64(d.NumRatings()))
+	for _, p := range d.Profiles {
+		dp = le32(dp, uint32(len(p)))
+	}
+	for _, p := range d.Profiles {
+		for _, it := range p {
+			dp = le32(dp, uint32(it))
+		}
+	}
+
+	return v1File(gp, dp), want
+}
+
+// v1File frames version-1 sections (graph payload first, dataset
+// second; empty payload slices are skipped).
+func v1File(graphPayload, dsPayload []byte) []byte {
+	type sec struct {
+		typ     uint32
+		payload []byte
+	}
+	var secs []sec
+	if graphPayload != nil {
+		secs = append(secs, sec{secGraph, graphPayload})
+	}
+	if dsPayload != nil {
+		secs = append(secs, sec{secDataset, dsPayload})
+	}
+	data := append([]byte{}, magic[:]...)
+	data = le32(data, 1)
+	data = le32(data, uint32(len(secs)))
+	for _, s := range secs {
+		data = le32(data, s.typ)
+		data = le64(data, uint64(len(s.payload)))
+		data = append(data, s.payload...)
+		data = le32(data, crc32.Checksum(s.payload, crcTable))
+	}
+	return data
+}
+
+// TestV1CompatCopyOnly: version-1 files still decode on the copy path,
+// the mmap path declines them with ErrMapUnavailable (their packed
+// layout cannot back aligned views), and auto mode falls back to copy.
+func TestV1CompatCopyOnly(t *testing.T) {
+	data, want := v1TinyFile(t)
+	snap, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Decode(v1): %v", err)
+	}
+	sameFrozen(t, snap.Graph, want.Graph)
+	if snap.Train.Name != want.Train.Name || snap.Train.NumUsers() != want.Train.NumUsers() {
+		t.Fatalf("v1 dataset mismatch: %q/%d users", snap.Train.Name, snap.Train.NumUsers())
+	}
+
+	path := filepath.Join(t.TempDir(), "v1.c2")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MapFile(path); !errors.Is(err, ErrMapUnavailable) {
+		t.Fatalf("MapFile(v1) error = %v, want ErrMapUnavailable", err)
+	}
+	if _, err := LoadFileMode(path, LoadMMap); !errors.Is(err, ErrMapUnavailable) {
+		t.Fatalf("LoadFileMode(v1, mmap) error = %v, want ErrMapUnavailable", err)
+	}
+	auto, err := LoadFileMode(path, LoadAuto)
+	if err != nil {
+		t.Fatalf("LoadFileMode(v1, auto): %v", err)
+	}
+	defer auto.Close()
+	if auto.Mapping != nil {
+		t.Fatal("auto mode mapped a v1 file")
+	}
+	sameFrozen(t, auto.Graph, want.Graph)
+}
+
+// --- satellite regressions ---
+
+// TestDecodeUserCountBoundary pins the plausibility guard at exactly
+// math.MaxInt32: user ids are int32 throughout the stack, so the first
+// rejected count is MaxInt32+1. The pre-fix guard (n > 1<<32) let
+// counts in (MaxInt32, 2^32] through to downstream int casts.
+func TestDecodeUserCountBoundary(t *testing.T) {
+	base := encodeBytes(t, tinySnapshot(t))
+	for _, typ := range []uint32{secGraph, secDataset, secGoldFinger} {
+		for _, n := range []uint64{1 << 31, 1 << 32} {
+			data := patchSection(t, base, typ, func(p []byte) {
+				binary.LittleEndian.PutUint64(p[8:], n)
+			})
+			_, err := decodeBothPaths(t, data)
+			if err == nil {
+				t.Fatalf("section %d with n=%d accepted", typ, n)
+			}
+			if !strings.Contains(err.Error(), "implausible") {
+				t.Fatalf("section %d with n=%d: error %v, want the implausible-dimensions rejection", typ, n, err)
+			}
+		}
+		// MaxInt32 itself passes plausibility and must instead be caught
+		// by the payload-size cross-check — proving the boundary sits
+		// between MaxInt32 and MaxInt32+1.
+		data := patchSection(t, base, typ, func(p []byte) {
+			binary.LittleEndian.PutUint64(p[8:], math.MaxInt32)
+		})
+		_, err := decodeBothPaths(t, data)
+		if err == nil {
+			t.Fatalf("section %d with n=MaxInt32 and a tiny payload accepted", typ)
+		}
+		if strings.Contains(err.Error(), "implausible") {
+			t.Fatalf("section %d: n=MaxInt32 rejected as implausible — guard boundary is off by one: %v", typ, err)
+		}
+	}
+}
+
+// TestDecodeDatasetLengthOverflow: a hostile profile length must be
+// rejected by the checked add, on both decode paths and in both format
+// versions. Pre-fix, the v2 decoder sliced the item slab with the raw
+// sum — a length like 0xFFFFFFFF panicked on slice bounds instead of
+// returning an error, and lengths crafted to wrap the uint64 total
+// could equal the declared ratings count while pointing profiles past
+// the slab.
+func TestDecodeDatasetLengthOverflow(t *testing.T) {
+	base := encodeBytes(t, tinySnapshot(t))
+	lay := func(p []byte) dsLayout {
+		nameLen := binary.LittleEndian.Uint32(p[0:])
+		n := binary.LittleEndian.Uint64(p[8:])
+		ratings := binary.LittleEndian.Uint64(p[16:])
+		return dsLayoutOf(int(nameLen), int(n), int(ratings))
+	}
+	data := patchSection(t, base, secDataset, func(p []byte) {
+		binary.LittleEndian.PutUint32(p[lay(p).lens:], 0xFFFFFFFF)
+	})
+	_, err := decodeBothPaths(t, data)
+	if err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("hostile v2 profile length: err=%v, want the lengths-exceed-ratings rejection", err)
+	}
+
+	// Same attack against the version-1 packed layout.
+	v1, _ := v1TinyFile(t)
+	snap, err := Decode(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 baseline decode: %v", err)
+	}
+	nameLen := 2 + len(snap.Train.Name) // u16 + name bytes
+	// v1 dataset section is the second section; find its payload by
+	// walking the packed framing.
+	off := 16
+	off += 12 + int(binary.LittleEndian.Uint64(v1[off+4:])) + 4 // skip graph section
+	lensOff := off + 12 + nameLen + 20
+	binary.LittleEndian.PutUint32(v1[lensOff:], 0xFFFFFFFF)
+	payStart, payLen := off+12, int(binary.LittleEndian.Uint64(v1[off+4:]))
+	binary.LittleEndian.PutUint32(v1[payStart+payLen:], crc32.Checksum(v1[payStart:payStart+payLen], crcTable))
+	_, err = Decode(bytes.NewReader(v1))
+	if err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Fatalf("hostile v1 profile length: err=%v, want the lengths-exceed-ratings rejection", err)
+	}
+}
+
+// TestWriteFileConcurrentWriters: unique temp names mean concurrent
+// writers to one path cannot interleave bytes — the file decodes after
+// every racing rename, and no temp litter survives. The pre-fix fixed
+// ".tmp" name let two writers open the same temp file and corrupt each
+// other's output.
+func TestWriteFileConcurrentWriters(t *testing.T) {
+	snap := tinySnapshot(t)
+	path := filepath.Join(t.TempDir(), "race.c2")
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if err := WriteFile(path, snap); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("file corrupt after concurrent writers: %v", err)
+	}
+	sameFrozen(t, got.Graph, snap.Graph)
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+}
+
+// TestWriteFileSweepsStaleTemps: temps abandoned by crashed writers —
+// including the legacy fixed ".tmp" name — are reclaimed once old
+// enough, while a young temp (possibly a live writer's) survives.
+func TestWriteFileSweepsStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.c2")
+	old := time.Now().Add(-2 * staleTempAge)
+	stale := []string{"snap.c2.tmp", "snap.c2.tmp-dead123"}
+	for _, name := range stale {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("abandoned"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	young := filepath.Join(dir, "snap.c2.tmp-live456")
+	if err := os.WriteFile(young, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFile(path, tinySnapshot(t)); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	for _, name := range stale {
+		if _, err := os.Stat(filepath.Join(dir, name)); !os.IsNotExist(err) {
+			t.Fatalf("stale temp %q survived the sweep (err=%v)", name, err)
+		}
+	}
+	if _, err := os.Stat(young); err != nil {
+		t.Fatalf("young temp was swept: %v", err)
+	}
+}
+
+// --- mapping lifetime ---
+
+// TestMappingLifecycle drives the refcount state machine end to end:
+// retain/release bracketing, close-to-zero unmapping, and the
+// no-resurrection rule that protects hot swaps.
+func TestMappingLifecycle(t *testing.T) {
+	path := writeSnap(t, tinySnapshot(t))
+	snap, err := LoadFileMode(path, LoadMMap)
+	if errors.Is(err, ErrMapUnavailable) {
+		t.Skipf("mmap unavailable on this platform: %v", err)
+	}
+	if err != nil {
+		t.Fatalf("LoadFileMode(mmap): %v", err)
+	}
+	m := snap.Mapping
+	if m == nil {
+		t.Fatal("mmap load returned nil Mapping")
+	}
+	if m.Refs() != 1 || m.Size() == 0 {
+		t.Fatalf("fresh mapping: refs=%d size=%d, want refs=1 and nonzero size", m.Refs(), m.Size())
+	}
+	if !m.Retain() {
+		t.Fatal("Retain on a live mapping failed")
+	}
+	if m.Refs() != 2 {
+		t.Fatalf("refs after Retain = %d, want 2", m.Refs())
+	}
+	m.Release()
+	if m.Refs() != 1 {
+		t.Fatalf("refs after Release = %d, want 1", m.Refs())
+	}
+	snap.Close()
+	if m.Refs() != 0 || m.Size() != 0 {
+		t.Fatalf("after final Close: refs=%d size=%d, want both 0 (unmapped)", m.Refs(), m.Size())
+	}
+	if m.Retain() {
+		t.Fatal("Retain resurrected an unmapped mapping")
+	}
+	snap.Close() // idempotent: the snapshot dropped its reference already
+
+	var nilMap *Mapping
+	if nilMap.Refs() != 0 || nilMap.Size() != 0 {
+		t.Fatal("nil mapping reports live state")
+	}
+	nilMap.Release() // no-op, must not panic
+}
+
+// TestLoadModes covers the mode plumbing: forced copy never maps,
+// C2_LOAD selects the mode for LoadFile, and unknown names fail fast.
+func TestLoadModes(t *testing.T) {
+	path := writeSnap(t, tinySnapshot(t))
+	cp, err := LoadFileMode(path, LoadCopy)
+	if err != nil {
+		t.Fatalf("LoadFileMode(copy): %v", err)
+	}
+	if cp.Mapping != nil {
+		t.Fatal("forced copy load produced a Mapping")
+	}
+
+	t.Setenv("C2_LOAD", "copy")
+	envCp, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile with C2_LOAD=copy: %v", err)
+	}
+	if envCp.Mapping != nil {
+		t.Fatal("C2_LOAD=copy still mapped the file")
+	}
+
+	t.Setenv("C2_LOAD", "sideways")
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("unknown C2_LOAD value accepted")
+	}
+
+	for _, tc := range []struct {
+		in   string
+		mode LoadMode
+	}{{"", LoadAuto}, {"auto", LoadAuto}, {"copy", LoadCopy}, {"mmap", LoadMMap}} {
+		got, err := ParseLoadMode(tc.in)
+		if err != nil || got != tc.mode {
+			t.Fatalf("ParseLoadMode(%q) = %v, %v; want %v", tc.in, got, err, tc.mode)
+		}
+	}
+	for _, m := range []LoadMode{LoadAuto, LoadCopy, LoadMMap} {
+		if rt, err := ParseLoadMode(m.String()); err != nil || rt != m {
+			t.Fatalf("mode %v does not round-trip through its name %q", m, m.String())
+		}
+	}
+	if s := LoadMode(42).String(); !strings.Contains(s, "42") {
+		t.Fatalf("unknown mode stringer = %q", s)
+	}
+}
+
+// TestLoadFileModeAutoMapsV2 documents the default: on a platform with
+// mmap, auto mode serves a v2 file as views.
+func TestLoadFileModeAutoMapsV2(t *testing.T) {
+	path := writeSnap(t, tinySnapshot(t))
+	if !mmapSupported || !hostLittleEndian {
+		t.Skip("no mmap on this platform")
+	}
+	snap, err := LoadFileMode(path, LoadAuto)
+	if err != nil {
+		t.Fatalf("LoadFileMode(auto): %v", err)
+	}
+	defer snap.Close()
+	if snap.Mapping == nil {
+		t.Fatal("auto mode copy-decoded a mappable v2 file")
+	}
+}

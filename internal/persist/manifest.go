@@ -23,7 +23,6 @@ import (
 	"io"
 	"math"
 	"os"
-	"path/filepath"
 
 	"c2knn/internal/frh"
 	"c2knn/internal/knng"
@@ -234,42 +233,10 @@ func DecodeManifest(r io.Reader) (*Manifest, error) {
 	return m, nil
 }
 
-// WriteManifestFile atomically writes m to path (same temp-fsync-rename
-// discipline as WriteFile).
+// WriteManifestFile atomically writes m to path (same unique-temp,
+// fsync-rename discipline as WriteFile).
 func WriteManifestFile(path string, m *Manifest) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	w := bufio.NewWriter(f)
-	if err := EncodeManifest(w, m); err != nil {
-		return fail(err)
-	}
-	if err := w.Flush(); err != nil {
-		return fail(err)
-	}
-	if err := f.Sync(); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
-	}
-	return nil
+	return writeFileAtomic(path, func(w io.Writer) error { return EncodeManifest(w, m) })
 }
 
 // ReadManifestFile loads a manifest from path.

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package persist
+
+import (
+	"errors"
+	"os"
+)
+
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errors.New("mmap not supported on this platform")
+}
+
+func munmap(b []byte) error { return nil }

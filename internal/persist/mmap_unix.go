@@ -1,0 +1,26 @@
+//go:build unix
+
+package persist
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform has the mmap syscalls the
+// zero-copy load path needs; the !unix stub sets it false and LoadAuto
+// falls back to copy-decode.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared (replicas of one
+// host share the page-cache copy).
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(b []byte) error {
+	if len(b) == 0 {
+		return nil
+	}
+	return syscall.Munmap(b)
+}

@@ -5,21 +5,22 @@
 // similarity computations) can be loaded by any number of serving
 // processes in milliseconds.
 //
-// # Format
+// # Format (version 2)
 //
 // All integers are little-endian. A snapshot is a fixed header followed
 // by a sequence of self-checksummed sections:
 //
 //	offset  size  field
 //	0       8     magic "C2SNAP\r\n" (the CRLF catches text-mode mangling)
-//	8       4     format version (uint32, currently 1)
+//	8       4     format version (uint32, currently 2)
 //	12      4     section count (uint32)
 //
 // then, for each section:
 //
 //	4     section type (uint32)
 //	8     payload length in bytes (uint64)
-//	...   payload
+//	0–63  zero padding to the next 64-byte file offset (verified zero)
+//	...   payload (its first byte sits at a 64-byte-aligned file offset)
 //	4     CRC-32C (Castagnoli) of the payload
 //
 // Section types: 1 = frozen graph, 2 = dataset, 3 = GoldFinger
@@ -27,25 +28,70 @@
 // error (format evolution bumps the version). The stream must end
 // exactly after the last section.
 //
-// Section payloads:
+// Every payload opens with a 64-byte header block (unused tail bytes
+// zero) and lays its arrays out at 64-byte-aligned payload offsets —
+// alignUp(x) below rounds x up to the next multiple of 64:
 //
-//	graph:      u32 k · u64 numUsers · u64 numEdges ·
-//	            numUsers×u32 degrees · numEdges×i32 neighbor ids ·
-//	            numEdges×f32 similarities (IEEE-754 bits)
-//	dataset:    u16 nameLen · name bytes · u32 numItems · u64 numUsers ·
-//	            u64 numRatings · numUsers×u32 profile lengths ·
-//	            numRatings×i32 item ids
-//	goldfinger: u32 bits · u64 numUsers · numUsers×(bits/64)×u64 words
+//	graph:      {0: u32 k · 4: u32 reserved(0) · 8: u64 numUsers ·
+//	            16: u64 numEdges} · 64: (numUsers+1)×i64 CSR offsets ·
+//	            alignUp: numEdges×i32 neighbor ids ·
+//	            alignUp: numEdges×f32 similarities (IEEE-754 bits)
+//	dataset:    {0: u32 nameLen · 4: u32 numItems · 8: u64 numUsers ·
+//	            16: u64 numRatings} · 64: name bytes ·
+//	            alignUp: numUsers×u32 profile lengths ·
+//	            alignUp: numRatings×i32 item ids
+//	goldfinger: {0: u32 bits · 4: u32 reserved(0) · 8: u64 numUsers} ·
+//	            64: numUsers×i32 fingerprint popcounts ·
+//	            alignUp: numUsers×(bits/64)×u64 signature words
+//
+// Because payloads start 64-byte-aligned in the file and an mmap base
+// is page-aligned, every array slab is 64-byte-aligned in memory too:
+// MapFile serves knng.Frozen / dataset.Dataset / goldfinger.Set
+// directly as unsafe.Slice views over the mapping, with no decode copy
+// and cache-line/vector-friendly slab bases. Version 2 stores what the
+// runtime structures hold (CSR offsets rather than degrees, build-time
+// popcounts alongside signatures) precisely so views need no
+// recomputation.
+//
+// # Version 1 compatibility
+//
+// Readers also accept the legacy version-1 layout (no alignment,
+// degrees instead of offsets, no persisted popcounts); v1 files always
+// load through the copy path and get the full value-level validation
+// they always did. Writers emit version 2 only.
 //
 // # Robustness
 //
 // Decode never panics on hostile input and never returns a partially
 // populated snapshot: every length is validated against the payload
-// size before allocation, every payload is checksummed, decoded
-// structures pass their packages' own validators (knng.Frozen.Validate,
-// dataset.Validate), cross-section user counts must agree, and any
-// failure returns (nil, error). Truncated files, flipped bytes, and
-// version skew are all detected.
+// size before allocation, every payload is checksummed, framing pads
+// must be zero, cross-section user counts must agree, and any failure
+// returns (nil, error). Truncated files, flipped bytes, and version
+// skew are all detected, on the copy path and the mmap path alike.
+//
+// Validation depth differs by version. Version-1 payloads pass their
+// packages' full validators (knng.Frozen.Validate, dataset.Validate).
+// Version-2 payloads — on both load paths, so the two stay
+// accept/reject-identical — pass the bounds-level validators
+// (knng.Frozen.ValidateBounds, dataset.ValidateBounds,
+// goldfinger.FromParts): everything needed for memory-safe serving is
+// checked, while value-level invariants (adjacency sort order, profile
+// dedup, popcount accuracy) are vouched for by the CRC over the
+// encoder's output. Forging bytes past a CRC can skew answers; it
+// cannot move an access out of bounds.
+//
+// # Snapshot files must be replaced, never edited in place
+//
+// A snapshot that any process may have memory-mapped must only ever be
+// updated by atomic replacement: write the new content to a temp file
+// in the same directory and rename it over the path — exactly what
+// WriteFile does. The rename leaves a live mapping pointing at the old
+// inode, untouched, until its last reference drains. Editing the file
+// in place instead would corrupt every mapped epoch silently (MAP_SHARED
+// views are coherent with the page cache), and truncating it would turn
+// the next page access past the new EOF into a SIGBUS — a crash, not an
+// error return. The CRC pass at load time cannot help: it ran before
+// the bytes changed.
 package persist
 
 import (
@@ -59,14 +105,20 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"c2knn/internal/dataset"
 	"c2knn/internal/goldfinger"
 	"c2knn/internal/knng"
 )
 
-// Version is the snapshot format version this build reads and writes.
-const Version = 1
+// Version is the snapshot format version this build writes; Decode
+// additionally reads version 1.
+const Version = 2
 
 var magic = [8]byte{'C', '2', 'S', 'N', 'A', 'P', '\r', '\n'}
 
@@ -83,6 +135,16 @@ const (
 	// exceed the actual stream still fail cheaply: payloads are read in
 	// chunks, so memory grows only with bytes actually present.
 	maxSectionBytes = 1 << 40
+
+	// Plausibility bounds on decoded dimensions. User and item counts
+	// must fit int32 — ids are int32 throughout the stack, so a count of
+	// 1<<31 would already overflow the last id — and edge/rating counts
+	// get a generous 2^38 ceiling that still rejects garbage lengths.
+	maxUsers = math.MaxInt32
+	maxItems = math.MaxInt32
+	maxEdges = 1 << 38
+	maxK     = 1 << 20
+	maxBits  = 1 << 24
 )
 
 // ErrCorrupt tags decoding failures caused by malformed or damaged
@@ -94,6 +156,15 @@ var ErrCorrupt = errors.New("persist: corrupt snapshot")
 var ErrVersion = errors.New("persist: unsupported snapshot version")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// alignUp rounds x up to the next multiple of 64 — the in-file (and
+// therefore, under a page-aligned mapping, in-memory) alignment of
+// every version-2 array slab.
+func alignUp(x int) int { return (x + 63) &^ 63 }
+
+// pad64 returns how many zero bytes follow a position at absolute
+// offset off before the next 64-byte boundary.
+func pad64(off uint64) int { return int(-off & 63) }
 
 // Snapshot is the set of artifacts a snapshot file carries. Any subset
 // of fields may be populated; serving (c2knn.LoadIndex) requires Graph
@@ -107,9 +178,24 @@ type Snapshot struct {
 	// GoldFinger optionally carries the fingerprints the graph was
 	// built with, so a loaded index can keep estimating similarities.
 	GoldFinger *goldfinger.Set
+	// Mapping is non-nil when the artifacts above are views over a
+	// memory-mapped file (MapFile); it owns the mapping's lifetime. A
+	// copy-decoded snapshot has a nil Mapping.
+	Mapping *Mapping
 }
 
-// Encode writes s to w in the snapshot format.
+// Close releases the snapshot's mapping reference, if any. After Close
+// the artifact views must not be touched. Copy-decoded snapshots need
+// no Close; calling it is a harmless no-op.
+func (s *Snapshot) Close() {
+	if s != nil && s.Mapping != nil {
+		m := s.Mapping
+		s.Mapping = nil
+		m.Release()
+	}
+}
+
+// Encode writes s to w in the snapshot format (version 2).
 func Encode(w io.Writer, s *Snapshot) error {
 	if s == nil || (s.Graph == nil && s.Train == nil && s.GoldFinger == nil) {
 		return errors.New("persist: refusing to encode an empty snapshot")
@@ -139,37 +225,58 @@ func Encode(w io.Writer, s *Snapshot) error {
 			count++
 		}
 	}
+	cw := &countingWriter{w: w}
 	hdr := make([]byte, 0, 16)
 	hdr = append(hdr, magic[:]...)
 	hdr = binary.LittleEndian.AppendUint32(hdr, Version)
 	hdr = binary.LittleEndian.AppendUint32(hdr, count)
-	if _, err := w.Write(hdr); err != nil {
+	if _, err := cw.Write(hdr); err != nil {
 		return err
 	}
 	if s.Graph != nil {
-		if err := writeSection(w, secGraph, encodeGraph(s.Graph)); err != nil {
+		if err := writeSection(cw, secGraph, encodeGraph(s.Graph)); err != nil {
 			return err
 		}
 	}
 	if s.Train != nil {
-		if err := writeSection(w, secDataset, encodeDataset(s.Train)); err != nil {
+		if err := writeSection(cw, secDataset, encodeDataset(s.Train)); err != nil {
 			return err
 		}
 	}
 	if s.GoldFinger != nil {
-		if err := writeSection(w, secGoldFinger, encodeGoldFinger(s.GoldFinger)); err != nil {
+		if err := writeSection(cw, secGoldFinger, encodeGoldFinger(s.GoldFinger)); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func writeSection(w io.Writer, typ uint32, payload []byte) error {
+// countingWriter tracks the absolute file offset so writeSection can
+// emit the padding that 64-aligns each payload.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+var zeros [64]byte
+
+func writeSection(w *countingWriter, typ uint32, payload []byte) error {
 	hdr := make([]byte, 0, 12)
 	hdr = binary.LittleEndian.AppendUint32(hdr, typ)
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
+	}
+	if pad := pad64(w.n); pad > 0 {
+		if _, err := w.Write(zeros[:pad]); err != nil {
+			return err
+		}
 	}
 	if _, err := w.Write(payload); err != nil {
 		return err
@@ -180,38 +287,69 @@ func writeSection(w io.Writer, typ uint32, payload []byte) error {
 	return err
 }
 
+// graphLayout locates the graph payload's slabs relative to the payload
+// start. Offsets are payload-relative; the payload itself starts at a
+// 64-byte-aligned file offset, so these are absolute alignments too.
+type graphLayout struct{ offs, ids, sims, size int }
+
+func graphLayoutOf(n, m int) graphLayout {
+	offs := 64
+	ids := alignUp(offs + 8*(n+1))
+	sims := alignUp(ids + 4*m)
+	return graphLayout{offs: offs, ids: ids, sims: sims, size: sims + 4*m}
+}
+
+type dsLayout struct{ name, lens, items, size int }
+
+func dsLayoutOf(nameLen, n, ratings int) dsLayout {
+	name := 64
+	lens := alignUp(name + nameLen)
+	items := alignUp(lens + 4*n)
+	return dsLayout{name: name, lens: lens, items: items, size: items + 4*ratings}
+}
+
+type gfLayout struct{ ones, sigs, size int }
+
+func gfLayoutOf(n, words int) gfLayout {
+	ones := 64
+	sigs := alignUp(ones + 4*n)
+	return gfLayout{ones: ones, sigs: sigs, size: sigs + 8*n*words}
+}
+
 func encodeGraph(f *knng.Frozen) []byte {
 	n, m := f.NumUsers(), f.NumEdges()
-	b := make([]byte, 0, 20+4*n+8*m)
-	b = binary.LittleEndian.AppendUint32(b, uint32(f.K))
-	b = binary.LittleEndian.AppendUint64(b, uint64(n))
-	b = binary.LittleEndian.AppendUint64(b, uint64(m))
-	for u := 0; u < n; u++ {
-		b = binary.LittleEndian.AppendUint32(b, uint32(f.Degree(int32(u))))
+	lay := graphLayoutOf(n, m)
+	b := make([]byte, lay.size)
+	binary.LittleEndian.PutUint32(b[0:], uint32(f.K))
+	binary.LittleEndian.PutUint64(b[8:], uint64(n))
+	binary.LittleEndian.PutUint64(b[16:], uint64(m))
+	for i, o := range f.Offsets {
+		binary.LittleEndian.PutUint64(b[lay.offs+8*i:], uint64(o))
 	}
-	for _, id := range f.IDs {
-		b = binary.LittleEndian.AppendUint32(b, uint32(id))
+	for i, id := range f.IDs {
+		binary.LittleEndian.PutUint32(b[lay.ids+4*i:], uint32(id))
 	}
-	for _, s := range f.Sims {
-		b = binary.LittleEndian.AppendUint32(b, math.Float32bits(s))
+	for i, s := range f.Sims {
+		binary.LittleEndian.PutUint32(b[lay.sims+4*i:], math.Float32bits(s))
 	}
 	return b
 }
 
 func encodeDataset(d *dataset.Dataset) []byte {
-	ratings := d.NumRatings()
-	b := make([]byte, 0, 2+len(d.Name)+20+4*d.NumUsers()+4*ratings)
-	b = binary.LittleEndian.AppendUint16(b, uint16(len(d.Name)))
-	b = append(b, d.Name...)
-	b = binary.LittleEndian.AppendUint32(b, uint32(d.NumItems))
-	b = binary.LittleEndian.AppendUint64(b, uint64(d.NumUsers()))
-	b = binary.LittleEndian.AppendUint64(b, uint64(ratings))
-	for _, p := range d.Profiles {
-		b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
-	}
-	for _, p := range d.Profiles {
+	n, ratings := d.NumUsers(), d.NumRatings()
+	lay := dsLayoutOf(len(d.Name), n, ratings)
+	b := make([]byte, lay.size)
+	binary.LittleEndian.PutUint32(b[0:], uint32(len(d.Name)))
+	binary.LittleEndian.PutUint32(b[4:], uint32(d.NumItems))
+	binary.LittleEndian.PutUint64(b[8:], uint64(n))
+	binary.LittleEndian.PutUint64(b[16:], uint64(ratings))
+	copy(b[lay.name:], d.Name)
+	at := 0
+	for u, p := range d.Profiles {
+		binary.LittleEndian.PutUint32(b[lay.lens+4*u:], uint32(len(p)))
 		for _, it := range p {
-			b = binary.LittleEndian.AppendUint32(b, uint32(it))
+			binary.LittleEndian.PutUint32(b[lay.items+4*at:], uint32(it))
+			at++
 		}
 	}
 	return b
@@ -219,68 +357,153 @@ func encodeDataset(d *dataset.Dataset) []byte {
 
 func encodeGoldFinger(s *goldfinger.Set) []byte {
 	sigs := s.Signatures()
-	b := make([]byte, 0, 12+8*len(sigs))
-	b = binary.LittleEndian.AppendUint32(b, uint32(s.Bits()))
-	b = binary.LittleEndian.AppendUint64(b, uint64(s.NumUsers()))
-	for _, w := range sigs {
-		b = binary.LittleEndian.AppendUint64(b, w)
+	n := s.NumUsers()
+	words := 0
+	if n > 0 {
+		words = len(sigs) / n
+	}
+	lay := gfLayoutOf(n, words)
+	b := make([]byte, lay.size)
+	binary.LittleEndian.PutUint32(b[0:], uint32(s.Bits()))
+	binary.LittleEndian.PutUint64(b[8:], uint64(n))
+	for u := 0; u < n; u++ {
+		binary.LittleEndian.PutUint32(b[lay.ones+4*u:], uint32(s.Ones(int32(u))))
+	}
+	for i, w := range sigs {
+		binary.LittleEndian.PutUint64(b[lay.sigs+8*i:], w)
 	}
 	return b
 }
 
-// Decode reads a snapshot from r. On any error the returned snapshot is
-// nil — a decoded Snapshot is always complete and validated.
+// assembler accumulates decoded sections and runs the cross-section
+// checks; Decode (streaming) and decodeAll (whole-image, mmap) share it
+// so both load paths accept and reject identically.
+type assembler struct {
+	version uint32
+	view    bool
+	snap    Snapshot
+	seen    map[uint32]bool
+}
+
+func newAssembler(version uint32, view bool) *assembler {
+	return &assembler{version: version, view: view, seen: make(map[uint32]bool, 3)}
+}
+
+func (a *assembler) section(i uint32, typ uint32, payload []byte) error {
+	if a.seen[typ] {
+		return fmt.Errorf("%w: duplicate section type %d", ErrCorrupt, typ)
+	}
+	a.seen[typ] = true
+	var err error
+	switch typ {
+	case secGraph:
+		if a.version == 1 {
+			a.snap.Graph, err = decodeGraphV1(payload)
+		} else {
+			a.snap.Graph, err = decodeGraph(payload, a.view)
+		}
+	case secDataset:
+		if a.version == 1 {
+			a.snap.Train, err = decodeDatasetV1(payload)
+		} else {
+			a.snap.Train, err = decodeDataset(payload, a.view)
+		}
+	case secGoldFinger:
+		if a.version == 1 {
+			a.snap.GoldFinger, err = decodeGoldFingerV1(payload)
+		} else {
+			a.snap.GoldFinger, err = decodeGoldFinger(payload, a.view)
+		}
+	default:
+		err = fmt.Errorf("unknown section type %d", typ)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: section %d: %v", ErrCorrupt, i, err)
+	}
+	return nil
+}
+
+func (a *assembler) finish() (*Snapshot, error) {
+	s := &a.snap
+	// Cross-section consistency: every artifact describes the same users.
+	if s.Graph != nil && s.Train != nil && s.Graph.NumUsers() != s.Train.NumUsers() {
+		return nil, fmt.Errorf("%w: graph has %d users, dataset %d",
+			ErrCorrupt, s.Graph.NumUsers(), s.Train.NumUsers())
+	}
+	if s.Graph != nil && s.GoldFinger != nil && s.Graph.NumUsers() != s.GoldFinger.NumUsers() {
+		return nil, fmt.Errorf("%w: graph has %d users, fingerprints %d",
+			ErrCorrupt, s.Graph.NumUsers(), s.GoldFinger.NumUsers())
+	}
+	return s, nil
+}
+
+// checkHeader validates the 16-byte file header and returns the version
+// and section count.
+func checkHeader(hdr []byte) (version, count uint32, err error) {
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return 0, 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:8])
+	}
+	version = binary.LittleEndian.Uint32(hdr[8:12])
+	if version != 1 && version != Version {
+		return 0, 0, fmt.Errorf("%w: file has version %d, this build reads 1 and %d", ErrVersion, version, Version)
+	}
+	count = binary.LittleEndian.Uint32(hdr[12:16])
+	if count == 0 || count > maxSections {
+		return 0, 0, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, count)
+	}
+	return version, count, nil
+}
+
+// Decode reads a snapshot from r, accepting format versions 1 and 2.
+// This is the copy path: decoded structures own their memory and r is
+// read strictly forward in bounded chunks. On any error the returned
+// snapshot is nil — a decoded Snapshot is always complete and
+// validated.
 func Decode(r io.Reader) (*Snapshot, error) {
 	var hdr [16]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrCorrupt, err)
 	}
-	if !bytes.Equal(hdr[:8], magic[:]) {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:8])
+	version, count, err := checkHeader(hdr[:])
+	if err != nil {
+		return nil, err
 	}
-	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
-		return nil, fmt.Errorf("%w: file has version %d, this build reads %d", ErrVersion, v, Version)
-	}
-	count := binary.LittleEndian.Uint32(hdr[12:16])
-	if count == 0 || count > maxSections {
-		return nil, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, count)
-	}
-	snap := &Snapshot{}
-	seen := make(map[uint32]bool, count)
+	asm := newAssembler(version, false)
+	off := uint64(16)
 	for i := uint32(0); i < count; i++ {
 		var sh [12]byte
 		if _, err := io.ReadFull(r, sh[:]); err != nil {
 			return nil, fmt.Errorf("%w: section %d header: %v", ErrCorrupt, i, err)
 		}
+		off += 12
 		typ := binary.LittleEndian.Uint32(sh[0:4])
 		length := binary.LittleEndian.Uint64(sh[4:12])
+		if version >= 2 {
+			var padBuf [64]byte
+			pad := pad64(off)
+			if _, err := io.ReadFull(r, padBuf[:pad]); err != nil {
+				return nil, fmt.Errorf("%w: section %d padding: %v", ErrCorrupt, i, err)
+			}
+			if !bytes.Equal(padBuf[:pad], zeros[:pad]) {
+				return nil, fmt.Errorf("%w: section %d has non-zero padding", ErrCorrupt, i)
+			}
+			off += uint64(pad)
+		}
 		payload, err := readPayload(r, length)
 		if err != nil {
 			return nil, fmt.Errorf("%w: section %d (type %d): %v", ErrCorrupt, i, typ, err)
 		}
+		off += length
 		var crc [4]byte
 		if _, err := io.ReadFull(r, crc[:]); err != nil {
 			return nil, fmt.Errorf("%w: section %d checksum: %v", ErrCorrupt, i, err)
 		}
+		off += 4
 		if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(crc[:]); got != want {
 			return nil, fmt.Errorf("%w: section %d (type %d) checksum mismatch", ErrCorrupt, i, typ)
 		}
-		if seen[typ] {
-			return nil, fmt.Errorf("%w: duplicate section type %d", ErrCorrupt, typ)
-		}
-		seen[typ] = true
-		switch typ {
-		case secGraph:
-			snap.Graph, err = decodeGraph(payload)
-		case secDataset:
-			snap.Train, err = decodeDataset(payload)
-		case secGoldFinger:
-			snap.GoldFinger, err = decodeGoldFinger(payload)
-		default:
-			err = fmt.Errorf("unknown section type %d", typ)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("%w: section %d: %v", ErrCorrupt, i, err)
+		if err := asm.section(i, typ, payload); err != nil {
+			return nil, err
 		}
 	}
 	// The stream must end exactly here; trailing bytes mean the header's
@@ -289,16 +512,64 @@ func Decode(r io.Reader) (*Snapshot, error) {
 	if _, err := io.ReadFull(r, probe[:]); err != io.EOF {
 		return nil, fmt.Errorf("%w: trailing data after final section", ErrCorrupt)
 	}
-	// Cross-section consistency: every artifact describes the same users.
-	if snap.Graph != nil && snap.Train != nil && snap.Graph.NumUsers() != snap.Train.NumUsers() {
-		return nil, fmt.Errorf("%w: graph has %d users, dataset %d",
-			ErrCorrupt, snap.Graph.NumUsers(), snap.Train.NumUsers())
+	return asm.finish()
+}
+
+// decodeAll decodes a complete in-memory snapshot image. With view set,
+// version-2 array slabs become unsafe.Slice views aliasing data (which
+// must then outlive the snapshot and have 64-byte-aligned backing — an
+// mmap, or a test buffer via alignedCopy); otherwise all structures own
+// their memory. Both modes run the same validation.
+func decodeAll(data []byte, view bool) (*Snapshot, error) {
+	if len(data) < 16 {
+		return nil, fmt.Errorf("%w: header: file is %d bytes", ErrCorrupt, len(data))
 	}
-	if snap.Graph != nil && snap.GoldFinger != nil && snap.Graph.NumUsers() != snap.GoldFinger.NumUsers() {
-		return nil, fmt.Errorf("%w: graph has %d users, fingerprints %d",
-			ErrCorrupt, snap.Graph.NumUsers(), snap.GoldFinger.NumUsers())
+	version, count, err := checkHeader(data[:16])
+	if err != nil {
+		return nil, err
 	}
-	return snap, nil
+	asm := newAssembler(version, view)
+	off := uint64(16)
+	size := uint64(len(data))
+	for i := uint32(0); i < count; i++ {
+		if size-off < 12 {
+			return nil, fmt.Errorf("%w: section %d header: truncated", ErrCorrupt, i)
+		}
+		typ := binary.LittleEndian.Uint32(data[off:])
+		length := binary.LittleEndian.Uint64(data[off+4:])
+		off += 12
+		if version >= 2 {
+			pad := uint64(pad64(off))
+			if size-off < pad {
+				return nil, fmt.Errorf("%w: section %d padding: truncated", ErrCorrupt, i)
+			}
+			if !bytes.Equal(data[off:off+pad], zeros[:pad]) {
+				return nil, fmt.Errorf("%w: section %d has non-zero padding", ErrCorrupt, i)
+			}
+			off += pad
+		}
+		if length > maxSectionBytes {
+			return nil, fmt.Errorf("%w: section %d (type %d): section length %d exceeds the %d-byte bound",
+				ErrCorrupt, i, typ, length, int64(maxSectionBytes))
+		}
+		if size-off < length+4 {
+			return nil, fmt.Errorf("%w: section %d (type %d): truncated payload", ErrCorrupt, i, typ)
+		}
+		payload := data[off : off+length : off+length]
+		off += length
+		want := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if crc32.Checksum(payload, crcTable) != want {
+			return nil, fmt.Errorf("%w: section %d (type %d) checksum mismatch", ErrCorrupt, i, typ)
+		}
+		if err := asm.section(i, typ, payload); err != nil {
+			return nil, err
+		}
+	}
+	if off != size {
+		return nil, fmt.Errorf("%w: trailing data after final section", ErrCorrupt)
+	}
+	return asm.finish()
 }
 
 // readPayload reads exactly length bytes in bounded chunks, so a
@@ -353,7 +624,192 @@ func (d *dec) u64() uint64 {
 	return v
 }
 
-func decodeGraph(payload []byte) (*knng.Frozen, error) {
+// decodeGraph decodes a version-2 graph payload, as aliasing views when
+// view is set (payload must be 64-byte-aligned) or as owned copies.
+func decodeGraph(payload []byte, view bool) (*knng.Frozen, error) {
+	if len(payload) < 64 {
+		return nil, fmt.Errorf("graph payload too short (%d bytes)", len(payload))
+	}
+	k := binary.LittleEndian.Uint32(payload[0:])
+	n := binary.LittleEndian.Uint64(payload[8:])
+	m := binary.LittleEndian.Uint64(payload[16:])
+	if n > maxUsers || m > maxEdges || k > maxK {
+		return nil, fmt.Errorf("implausible graph dimensions: k=%d users=%d edges=%d", k, n, m)
+	}
+	lay := graphLayoutOf(int(n), int(m))
+	if len(payload) != lay.size {
+		return nil, fmt.Errorf("graph payload is %d bytes, dimensions require %d", len(payload), lay.size)
+	}
+	offsets, err := sliceI64(payload[lay.offs:lay.offs+8*(int(n)+1)], view)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := sliceI32(payload[lay.ids:lay.ids+4*int(m)], view)
+	if err != nil {
+		return nil, err
+	}
+	sims, err := sliceF32(payload[lay.sims:lay.sims+4*int(m)], view)
+	if err != nil {
+		return nil, err
+	}
+	return knng.NewFrozenView(int(k), offsets, ids, sims)
+}
+
+// decodeDataset decodes a version-2 dataset payload.
+func decodeDataset(payload []byte, view bool) (*dataset.Dataset, error) {
+	if len(payload) < 64 {
+		return nil, fmt.Errorf("dataset payload too short (%d bytes)", len(payload))
+	}
+	nameLen := binary.LittleEndian.Uint32(payload[0:])
+	numItems := binary.LittleEndian.Uint32(payload[4:])
+	n := binary.LittleEndian.Uint64(payload[8:])
+	ratings := binary.LittleEndian.Uint64(payload[16:])
+	if n > maxUsers || ratings > maxEdges || numItems > maxItems || nameLen > math.MaxUint16 {
+		return nil, fmt.Errorf("implausible dataset dimensions: users=%d ratings=%d items=%d nameLen=%d",
+			n, ratings, numItems, nameLen)
+	}
+	lay := dsLayoutOf(int(nameLen), int(n), int(ratings))
+	if len(payload) != lay.size {
+		return nil, fmt.Errorf("dataset payload is %d bytes, dimensions require %d", len(payload), lay.size)
+	}
+	name := string(payload[lay.name : lay.name+int(nameLen)])
+	items, err := sliceI32(payload[lay.items:lay.items+4*int(ratings)], view)
+	if err != nil {
+		return nil, err
+	}
+	profiles := make([][]int32, n)
+	var total uint64
+	for u := range profiles {
+		l := uint64(binary.LittleEndian.Uint32(payload[lay.lens+4*u:]))
+		// Checked add: each length is bounded by the ratings budget still
+		// unclaimed, so hostile lengths can neither wrap the sum nor push
+		// a profile past the item slab.
+		if l > ratings-total {
+			return nil, fmt.Errorf("profile lengths exceed the %d ratings the header declares", ratings)
+		}
+		profiles[u] = items[total : total+l : total+l]
+		total += l
+	}
+	if total != ratings {
+		return nil, fmt.Errorf("profile lengths sum to %d, header says %d ratings", total, ratings)
+	}
+	ds := &dataset.Dataset{Name: name, NumItems: int32(numItems), Profiles: profiles}
+	// Bounds-check the flat slab rather than profile by profile: the
+	// checked adds above prove every profile is a sub-slice of items, so
+	// one (parallel, on big slabs) scan covers them all. This scan is
+	// the dominant cost of a zero-copy load. ValidateBounds reruns the
+	// per-profile walk only to name the offending user in the error.
+	if !boundsOK(items, numItems) {
+		if err := ds.ValidateBounds(); err != nil {
+			return nil, err
+		}
+	}
+	return ds, nil
+}
+
+// boundsOK reports whether every id of xs lies in [0, limit), compared
+// unsigned so negative ids fail too. Slabs past parallelScanMin are
+// split across cores — snapshot loads run on otherwise-idle replicas
+// where scan latency is the cold-start floor.
+func boundsOK(xs []int32, limit uint32) bool {
+	workers := runtime.GOMAXPROCS(0)
+	if len(xs) < parallelScanMin || workers < 2 {
+		return maxU32(xs) < limit || len(xs) == 0
+	}
+	if workers > 8 {
+		workers = 8
+	}
+	chunk := (len(xs) + workers - 1) / workers
+	var bad atomic.Bool
+	var wg sync.WaitGroup
+	for start := 0; start < len(xs); start += chunk {
+		end := start + chunk
+		if end > len(xs) {
+			end = len(xs)
+		}
+		wg.Add(1)
+		go func(part []int32) {
+			defer wg.Done()
+			if maxU32(part) >= limit {
+				bad.Store(true)
+			}
+		}(xs[start:end])
+	}
+	wg.Wait()
+	return !bad.Load()
+}
+
+// parallelScanMin is the slab size (in elements) below which boundsOK
+// stays single-threaded; under it goroutine fan-out costs more than the
+// scan.
+const parallelScanMin = 1 << 17
+
+// maxU32 returns the maximum of xs reinterpreted as unsigned values
+// (0 for an empty slice). Four independent accumulators keep the
+// dependency chains short so the compiler emits conditional moves.
+func maxU32(xs []int32) uint32 {
+	var m0, m1, m2, m3 uint32
+	i := 0
+	for ; i+4 <= len(xs); i += 4 {
+		if v := uint32(xs[i]); v > m0 {
+			m0 = v
+		}
+		if v := uint32(xs[i+1]); v > m1 {
+			m1 = v
+		}
+		if v := uint32(xs[i+2]); v > m2 {
+			m2 = v
+		}
+		if v := uint32(xs[i+3]); v > m3 {
+			m3 = v
+		}
+	}
+	for ; i < len(xs); i++ {
+		if v := uint32(xs[i]); v > m0 {
+			m0 = v
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	return m0
+}
+
+// decodeGoldFinger decodes a version-2 fingerprint payload.
+func decodeGoldFinger(payload []byte, view bool) (*goldfinger.Set, error) {
+	if len(payload) < 64 {
+		return nil, fmt.Errorf("goldfinger payload too short (%d bytes)", len(payload))
+	}
+	bitsN := binary.LittleEndian.Uint32(payload[0:])
+	n := binary.LittleEndian.Uint64(payload[8:])
+	if bitsN == 0 || bitsN%64 != 0 || bitsN > maxBits || n > maxUsers {
+		return nil, fmt.Errorf("implausible fingerprint dimensions: bits=%d users=%d", bitsN, n)
+	}
+	words := int(bitsN / 64)
+	lay := gfLayoutOf(int(n), words)
+	if len(payload) != lay.size {
+		return nil, fmt.Errorf("goldfinger payload is %d bytes, dimensions require %d", len(payload), lay.size)
+	}
+	ones, err := sliceI32(payload[lay.ones:lay.ones+4*int(n)], view)
+	if err != nil {
+		return nil, err
+	}
+	sigs, err := sliceU64(payload[lay.sigs:lay.sigs+8*int(n)*words], view)
+	if err != nil {
+		return nil, err
+	}
+	return goldfinger.FromParts(int(bitsN), int(n), sigs, ones)
+}
+
+// --- version-1 payload decoders (copy only; full value-level validation) ---
+
+func decodeGraphV1(payload []byte) (*knng.Frozen, error) {
 	if len(payload) < 20 {
 		return nil, fmt.Errorf("graph payload too short (%d bytes)", len(payload))
 	}
@@ -361,7 +817,7 @@ func decodeGraph(payload []byte) (*knng.Frozen, error) {
 	k := d.u32()
 	n := d.u64()
 	m := d.u64()
-	if n > 1<<32 || m > 1<<38 || k > 1<<20 {
+	if n > maxUsers || m > maxEdges || k > maxK {
 		return nil, fmt.Errorf("implausible graph dimensions: k=%d users=%d edges=%d", k, n, m)
 	}
 	if need := 20 + 4*n + 8*m; uint64(len(payload)) != need {
@@ -388,7 +844,7 @@ func decodeGraph(payload []byte) (*knng.Frozen, error) {
 	return knng.NewFrozen(int(k), offsets, ids, sims)
 }
 
-func decodeDataset(payload []byte) (*dataset.Dataset, error) {
+func decodeDatasetV1(payload []byte) (*dataset.Dataset, error) {
 	if len(payload) < 2 {
 		return nil, fmt.Errorf("dataset payload too short (%d bytes)", len(payload))
 	}
@@ -402,7 +858,7 @@ func decodeDataset(payload []byte) (*dataset.Dataset, error) {
 	numItems := d.u32()
 	n := d.u64()
 	ratings := d.u64()
-	if n > 1<<32 || ratings > 1<<38 || numItems > 1<<31 {
+	if n > maxUsers || ratings > maxEdges || numItems > maxItems {
 		return nil, fmt.Errorf("implausible dataset dimensions: users=%d ratings=%d items=%d", n, ratings, numItems)
 	}
 	if need := uint64(2+nameLen+20) + 4*n + 4*ratings; uint64(len(payload)) != need {
@@ -412,6 +868,12 @@ func decodeDataset(payload []byte) (*dataset.Dataset, error) {
 	var total uint64
 	for i := range lens {
 		lens[i] = d.u32()
+		// Checked add: a hostile length past the remaining ratings budget
+		// would wrap the uint64 sum given enough users; reject it before
+		// it accumulates.
+		if uint64(lens[i]) > ratings-total {
+			return nil, fmt.Errorf("profile lengths exceed the %d ratings the header declares", ratings)
+		}
 		total += uint64(lens[i])
 	}
 	if total != ratings {
@@ -434,14 +896,14 @@ func decodeDataset(payload []byte) (*dataset.Dataset, error) {
 	return ds, nil
 }
 
-func decodeGoldFinger(payload []byte) (*goldfinger.Set, error) {
+func decodeGoldFingerV1(payload []byte) (*goldfinger.Set, error) {
 	if len(payload) < 12 {
 		return nil, fmt.Errorf("goldfinger payload too short (%d bytes)", len(payload))
 	}
 	d := &dec{b: payload}
 	bitsN := d.u32()
 	n := d.u64()
-	if bitsN == 0 || bitsN%64 != 0 || bitsN > 1<<24 || n > 1<<32 {
+	if bitsN == 0 || bitsN%64 != 0 || bitsN > maxBits || n > maxUsers {
 		return nil, fmt.Errorf("implausible fingerprint dimensions: bits=%d users=%d", bitsN, n)
 	}
 	words := uint64(bitsN / 64)
@@ -455,24 +917,37 @@ func decodeGoldFinger(payload []byte) (*goldfinger.Set, error) {
 	return goldfinger.FromSignatures(int(bitsN), int(n), sigs)
 }
 
-// WriteFile atomically writes s to path: the snapshot is encoded to
-// path+".tmp", fsynced, and renamed into place, with the containing
-// directory fsynced after the rename — so a crash at any point leaves
-// either the old snapshot or the complete new one where a serving
-// process expects a valid file, never a torn or empty rename victim.
+// WriteFile atomically writes s to path: the snapshot is encoded to a
+// unique temp file in path's directory, fsynced, and renamed into
+// place, with the containing directory fsynced after the rename — so a
+// crash at any point leaves either the old snapshot or the complete new
+// one where a serving process expects a valid file, never a torn or
+// empty rename victim, and concurrent writers to the same path cannot
+// interleave (last rename wins whole).
 func WriteFile(path string, s *Snapshot) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	return writeFileAtomic(path, func(w io.Writer) error { return Encode(w, s) })
+}
+
+// writeFileAtomic runs write against a buffered unique temp file in
+// path's directory and publishes it with the fsync-rename-fsync
+// discipline WriteFile documents. Temp files abandoned by crashed
+// writers are swept opportunistically.
+func writeFileAtomic(path string, write func(w io.Writer) error) error {
+	dir := filepath.Dir(path)
+	base := filepath.Base(path)
+	removeStaleTemps(dir, base)
+	f, err := os.CreateTemp(dir, base+".tmp-*")
 	if err != nil {
 		return err
 	}
+	tmp := f.Name()
 	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	if err := Encode(w, s); err != nil {
+	if err := write(w); err != nil {
 		return fail(err)
 	}
 	if err := w.Flush(); err != nil {
@@ -495,14 +970,39 @@ func WriteFile(path string, s *Snapshot) error {
 	// Make the rename itself durable. Some platforms/filesystems reject
 	// directory fsync; the rename has already succeeded, so that is not
 	// worth failing the write over.
-	if dir, err := os.Open(filepath.Dir(path)); err == nil {
-		dir.Sync()
-		dir.Close()
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
 	}
 	return nil
 }
 
-// ReadFile loads a snapshot from path.
+// staleTempAge is how old an abandoned temp file must be before
+// removeStaleTemps reclaims it; young temps may belong to a live writer.
+const staleTempAge = 10 * time.Minute
+
+// removeStaleTemps deletes temp files for base left behind by crashed
+// writers (both the CreateTemp pattern and the legacy fixed ".tmp"
+// name). Best-effort: sweep failures never fail the write that
+// triggered them.
+func removeStaleTemps(dir, base string) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	cutoff := time.Now().Add(-staleTempAge)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), base+".tmp") {
+			continue
+		}
+		if info, err := e.Info(); err == nil && info.ModTime().Before(cutoff) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}
+
+// ReadFile loads a snapshot from path by copy-decode. LoadFile/
+// LoadFileMode select between this and the mmap path.
 func ReadFile(path string) (*Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {

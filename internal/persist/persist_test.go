@@ -201,7 +201,7 @@ func TestDecodeBitFlips(t *testing.T) {
 
 func TestDecodeVersionSkew(t *testing.T) {
 	data := encodeBytes(t, tinySnapshot(t))
-	data[8] = 2 // version field, little-endian
+	data[8] = Version + 1 // version field, little-endian
 	_, err := Decode(bytes.NewReader(data))
 	if !errors.Is(err, ErrVersion) {
 		t.Fatalf("version-skew error = %v, want ErrVersion", err)

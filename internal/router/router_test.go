@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -489,5 +490,51 @@ func TestRouterValidation(t *testing.T) {
 	}
 	if rt.Stats().upstreamErrs.Load() != 0 {
 		t.Fatal("validation failures reached the upstream path")
+	}
+}
+
+// TestRoutedMappedShards: a routed deployment whose shard replicas
+// serve zero-copy mapped snapshots must answer byte-identically to a
+// direct copy-decoded server — the sharded tier inherits the load-mode
+// equivalence guarantee end to end.
+func TestRoutedMappedShards(t *testing.T) {
+	ix := testIndex(t)
+	snap := filepath.Join(t.TempDir(), "shard.c2")
+	if err := ix.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	cpIx, err := c2knn.LoadIndexMode(snap, c2knn.LoadCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmIx, err := c2knn.LoadIndexMode(snap, c2knn.LoadMMap)
+	if err != nil {
+		t.Skipf("mmap unavailable on this platform: %v", err)
+	}
+	defer mmIx.Close()
+	if !mmIx.Mapped() {
+		t.Fatal("shard index did not load as a mapping")
+	}
+	_, direct := startShard(t, cpIx)
+	_, shardSrv := startShard(t, mmIx)
+	rt := newRouter(t, Config{
+		Shards: []ShardSpec{{ID: 0, Range: frh.BucketRange{Lo: 1, Hi: frh.DefaultShardBuckets}, Replicas: []string{shardSrv.URL}}},
+	})
+
+	for _, u := range []int32{0, 3, 17, 256, 1<<30 - 1} {
+		for _, p := range []string{"/v1/neighbors?user=%d&k=5", "/v1/topk?user=%d&k=4", "/v1/recommend?user=%d&n=10"} {
+			path := fmt.Sprintf(p, u)
+			wantResp, err := http.Get(direct.URL + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := io.ReadAll(wantResp.Body)
+			wantResp.Body.Close()
+			code, _, got := get(t, rt.Handler(), path)
+			if code != wantResp.StatusCode || !bytes.Equal(got, want) {
+				t.Fatalf("%s: mapped-shard routed answer differs (status %d vs %d)\nrouted: %s\ndirect: %s",
+					path, code, wantResp.StatusCode, got, want)
+			}
+		}
 	}
 }

@@ -290,9 +290,7 @@ func TestServerReloadFailureSurfacing(t *testing.T) {
 		good[:len(good)/2],                                // truncated
 		append(append([]byte{}, good[:40]...), good[41:]...), // byte removed mid-payload
 	} {
-		if err := os.WriteFile(snap, corrupt, 0o644); err != nil {
-			t.Fatal(err)
-		}
+		replaceFile(t, snap, corrupt)
 		code, rr := reload()
 		if code != http.StatusServiceUnavailable || rr.Kind != "corrupt" {
 			t.Fatalf("corrupt reload %d: status %d kind %q, want 503/corrupt", i, code, rr.Kind)
@@ -315,9 +313,7 @@ func TestServerReloadFailureSurfacing(t *testing.T) {
 	}
 
 	// Restore and reload: the daemon recovers without a restart.
-	if err := os.WriteFile(snap, good, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	replaceFile(t, snap, good)
 	code, rr := reload()
 	if code != http.StatusOK || rr.Epoch != 2 {
 		t.Fatalf("good reload after corruption: status %d epoch %d, want 200/2", code, rr.Epoch)

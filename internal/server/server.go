@@ -52,6 +52,10 @@ type Config struct {
 	// SnapshotPath is the file Reload re-reads; empty disables Reload
 	// (Swap still works).
 	SnapshotPath string
+	// LoadMode selects how Reload materializes the snapshot (mmap'd
+	// views vs copy-decode); the zero value is c2knn.LoadAuto. cmd's
+	// -load flag sets it.
+	LoadMode c2knn.LoadMode
 	// MaxConcurrent bounds the worker pool: at most this many requests
 	// execute index work simultaneously (default 4×GOMAXPROCS).
 	MaxConcurrent int
@@ -241,6 +245,12 @@ func (s *Server) Stats() *Stats { return s.stats }
 // finish on the index they started with; no request ever fails or
 // blocks because of a swap. The epoch bump retires all cached results
 // of earlier snapshots.
+//
+// The server takes ownership of the displaced index: it is Closed, so
+// if it served from a memory-mapped snapshot its mapping is released as
+// soon as the last in-flight request referencing it drains (requests
+// hold per-query references — see answer). Swapping the currently
+// served index in again is a no-op close-wise.
 func (s *Server) Swap(ix *c2knn.Index) {
 	s.reloadMu.Lock()
 	old := s.st.Load()
@@ -252,6 +262,9 @@ func (s *Server) Swap(ix *c2knn.Index) {
 	// longer be asked for, and LRU evicts it like any cold entry.
 	s.cache.Flush()
 	s.stats.RecordSwap()
+	if old.ix != ix {
+		old.ix.Close()
+	}
 }
 
 // Reload re-reads Config.SnapshotPath and swaps the result in. The old
@@ -264,7 +277,7 @@ func (s *Server) Reload() error {
 	}
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	ix, err := c2knn.LoadIndex(s.cfg.SnapshotPath)
+	ix, err := c2knn.LoadIndexMode(s.cfg.SnapshotPath, s.cfg.LoadMode)
 	if err != nil {
 		err = fmt.Errorf("server: reload %s: %w", s.cfg.SnapshotPath, err)
 		// Surface the refusal on /statsz and /metrics: the old epoch
@@ -277,6 +290,9 @@ func (s *Server) Reload() error {
 	s.st.Store(&state{ix: ix, epoch: old.epoch + 1})
 	s.cache.Flush() // see Swap: free the budgets the dead epoch held
 	s.stats.RecordSwap()
+	// The displaced index's mapping (if any) is released once its last
+	// in-flight request drains.
+	old.ix.Close()
 	return nil
 }
 
@@ -402,7 +418,21 @@ func (s *Server) answer(ctx context.Context, ep Endpoint, u int32, batch []int32
 		return nil, false, ctx.Err()
 	}
 	defer func() { <-s.sem }()
-	st := s.st.Load()
+	// Pin the index for the query's lifetime. For unmapped indexes
+	// Retain is a free nil check; for mmap-backed ones it takes a
+	// mapping reference, so a hot swap that displaces this epoch cannot
+	// unmap pages under us — the munmap waits until the last in-flight
+	// reference here is released. Retain only fails when Close already
+	// won a race against our Load; the new state is installed before the
+	// old index is closed, so reloading observes the fresh epoch.
+	var st *state
+	for {
+		st = s.st.Load()
+		if st.ix.Retain() {
+			break
+		}
+	}
+	defer st.ix.Release()
 
 	kb := s.keys.Get().(*[]byte)
 	key := appendKeyHeader((*kb)[:0], ep, st.epoch, count, batch != nil)

@@ -47,6 +47,27 @@ func newTestServer(tb testing.TB, ix *c2knn.Index, cfg Config) (*Server, *httpte
 	return s, ts
 }
 
+// replaceFile swaps in new file content via temp + rename — the only
+// safe way to alter a snapshot a live epoch may have memory-mapped. An
+// in-place rewrite would mutate (or, across a truncation, SIGBUS) the
+// mapped views mid-serve; the rename leaves the mapped inode untouched.
+func replaceFile(tb testing.TB, path string, data []byte) {
+	tb.Helper()
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".test-*")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tb.Fatal(err)
+	}
+	if err := tmp.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		tb.Fatal(err)
+	}
+}
+
 func getJSON(tb testing.TB, url string, out any) {
 	tb.Helper()
 	resp, err := http.Get(url)
@@ -328,9 +349,7 @@ func TestServerReloadAndErrorKinds(t *testing.T) {
 	// Version skew: the uint32 at offset 8 is the format version.
 	skewed := append([]byte(nil), raw...)
 	skewed[8] = 99
-	if err := os.WriteFile(snap, skewed, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	replaceFile(t, snap, skewed)
 	resp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -346,9 +365,7 @@ func TestServerReloadAndErrorKinds(t *testing.T) {
 	// 12-byte section header).
 	corrupt := append([]byte(nil), raw...)
 	corrupt[40] ^= 0xff
-	if err := os.WriteFile(snap, corrupt, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	replaceFile(t, snap, corrupt)
 	resp, err = http.Post(ts.URL+"/admin/reload", "application/json", nil)
 	if err != nil {
 		t.Fatal(err)
@@ -448,5 +465,94 @@ func TestServerHotSwapUnderLoad(t *testing.T) {
 		if !slices.Equal(rec.Items, wantNew[u]) {
 			t.Fatalf("user %d: post-swap response is not the new index's", u)
 		}
+	}
+}
+
+// TestServerLoadModeByteIdentity: a server answering from a zero-copy
+// mapped index and one answering from a copy-decoded index of the same
+// snapshot must return byte-identical HTTP bodies — the guarantee that
+// lets the load mode vary per platform (and per C2_LOAD override)
+// without any observable behavior change.
+func TestServerLoadModeByteIdentity(t *testing.T) {
+	ix := testIndex(t, 7)
+	snap := filepath.Join(t.TempDir(), "index.c2")
+	if err := ix.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	cpIx, err := c2knn.LoadIndexMode(snap, c2knn.LoadCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmIx, err := c2knn.LoadIndexMode(snap, c2knn.LoadMMap)
+	if err != nil {
+		t.Skipf("mmap unavailable on this platform: %v", err)
+	}
+	defer mmIx.Close()
+	if !mmIx.Mapped() || cpIx.Mapped() {
+		t.Fatalf("load modes not honored: mmap Mapped=%v, copy Mapped=%v", mmIx.Mapped(), cpIx.Mapped())
+	}
+	_, cpTS := newTestServer(t, cpIx, Config{})
+	_, mmTS := newTestServer(t, mmIx, Config{})
+
+	body := func(ts *httptest.Server, path string) []byte {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, b)
+		}
+		return b
+	}
+	paths := []string{
+		"/v1/recommend?user=0&n=10",
+		"/v1/recommend?user=17&n=5",
+		"/v1/neighbors?user=3&k=8",
+		"/v1/neighbors?user=42&k=3",
+	}
+	for u := 0; u < cpIx.NumUsers(); u += 97 {
+		paths = append(paths, fmt.Sprintf("/v1/recommend?user=%d&n=10", u))
+	}
+	for _, p := range paths {
+		if cp, mm := body(cpTS, p), body(mmTS, p); !bytes.Equal(cp, mm) {
+			t.Fatalf("GET %s differs between load modes:\ncopy: %s\nmmap: %s", p, cp, mm)
+		}
+	}
+}
+
+// TestServerSwapDrainsMappedEpoch: swapping away from a mapped index
+// closes it — new retains are refused, so a request racing the swap
+// re-resolves the fresh epoch — while the server keeps answering
+// correctly from the new index.
+func TestServerSwapDrainsMappedEpoch(t *testing.T) {
+	ix := testIndex(t, 1)
+	snap := filepath.Join(t.TempDir(), "index.c2")
+	if err := ix.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	mmIx, err := c2knn.LoadIndexMode(snap, c2knn.LoadMMap)
+	if err != nil {
+		t.Skipf("mmap unavailable on this platform: %v", err)
+	}
+	s, ts := newTestServer(t, mmIx, Config{})
+
+	var before recommendResult
+	getJSON(t, ts.URL+"/v1/recommend?user=5&n=5", &before)
+
+	next := testIndex(t, 2)
+	s.Swap(next)
+	if mmIx.Retain() {
+		t.Fatal("retired mapped epoch still accepts retains after the swap closed it")
+	}
+	var after recommendResult
+	getJSON(t, ts.URL+"/v1/recommend?user=5&n=5", &after)
+	want := emptyNotNil(next.Recommend(5, 5))
+	if !slices.Equal(after.Items, want) {
+		t.Fatalf("post-swap response %v does not match the new index %v", after.Items, want)
 	}
 }

@@ -267,6 +267,51 @@ elif [ -f "$SHARD_JSON" ]; then
   echo "shard record $SHARD_JSON is stale (>60 min); skipping its gate"
 fi
 
+LOAD_JSON="benchmarks/BENCH_load.json"
+
+# Gate the snapshot cold-start record (scripts/bench-load.sh): the two
+# load paths must have decoded the same snapshot into bitwise-identical
+# structures answering identical queries (identical == true,
+# unconditional). When the mmap path is available on the runner, the
+# zero-copy load must reach first query at least LOAD_MIN_SPEEDUP x
+# faster than the copy decode (default 5; measured locally at 8-9x on
+# the default ~14 MB snapshot, the slack absorbs runner noise) and must
+# hold at most half the copy path's heap — the per-replica memory story
+# is the point of the mapping. On platforms without mmap support only
+# the equivalence clause is judged.
+if [ -f "$LOAD_JSON" ] && [ -n "$(find "$LOAD_JSON" -mmin -60 2>/dev/null)" ]; then
+  echo "snapshot cold-start record ($LOAD_JSON):"
+  cat "$LOAD_JSON"
+  awk -v minspeed="${LOAD_MIN_SPEEDUP:-5}" '
+    match($0, /"mapped": *(true|false)/)       { mapped = (index(substr($0, RSTART, RLENGTH), "true") > 0) }
+    match($0, /"identical": *(true|false)/)    { ident = (index(substr($0, RSTART, RLENGTH), "true") > 0) }
+    match($0, /"load_speedup": *[0-9.]+/)      { split(substr($0, RSTART, RLENGTH), a, ": *"); speedup = a[2] + 0 }
+    match($0, /"mmap_heap_bytes": *[0-9]+/)    { split(substr($0, RSTART, RLENGTH), a, ": *"); mheap = a[2] + 0 }
+    match($0, /"copy_heap_bytes": *[0-9]+/)    { split(substr($0, RSTART, RLENGTH), a, ": *"); cheap = a[2] + 0 }
+    END {
+      if (!ident) {
+        printf("mmap and copy load paths are not bitwise/query identical\n") > "/dev/stderr"
+        exit 1
+      }
+      if (!mapped) {
+        printf("load gate ok (equivalence only): mmap path unavailable on this runner\n")
+        exit 0
+      }
+      if (speedup < minspeed) {
+        printf("zero-copy load only %.2fx faster to first query than copy decode, want >= %.1fx\n", speedup, minspeed) > "/dev/stderr"
+        exit 1
+      }
+      if (cheap > 0 && mheap > cheap / 2) {
+        printf("mapped replica holds %d heap bytes, more than half the copy path%s %d\n", mheap, "\x27s", cheap) > "/dev/stderr"
+        exit 1
+      }
+      printf("load gate ok: zero-copy %.2fx to first query, heap %d vs %d bytes per replica, paths identical\n", speedup, mheap, cheap)
+    }
+  ' "$LOAD_JSON"
+elif [ -f "$LOAD_JSON" ]; then
+  echo "load record $LOAD_JSON is stale (>60 min); skipping its gate"
+fi
+
 if [ ! -f "$BASELINE" ] || ! grep -q '^Benchmark' "$BASELINE"; then
   echo "baseline missing or empty; skipping compare"
   exit 0

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Run the snapshot cold-start benchmark (mmap zero-copy load vs copy
+# decode, time-to-first-query and heap-per-replica) and record
+# benchmarks/BENCH_load.json — the load-path regression tracker
+# consumed by scripts/bench-compare.sh and CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# 3x paper-scale ml1M by default (~14 MB snapshot): the ratio between
+# the paths grows with snapshot size and its run-to-run variance
+# shrinks, so the tracked number comes from a serving-sized snapshot,
+# not the floor-clamped tiny one. Builds and measures in a few seconds.
+SCALE="${LOAD_SCALE:-3}"
+WORKERS="${LOAD_WORKERS:-4}"
+
+mkdir -p benchmarks
+go run ./cmd/c2bench -exp load -scale "$SCALE" -workers "$WORKERS" \
+  -json benchmarks/BENCH_load.json
+SPEEDUP="$(sed -n 's/.*"load_speedup": *\([0-9.]*\).*/\1/p' benchmarks/BENCH_load.json | head -n1)"
+MAPPED="$(sed -n 's/.*"mapped": *\(true\|false\).*/\1/p' benchmarks/BENCH_load.json | head -n1)"
+echo "wrote benchmarks/BENCH_load.json (mapped: ${MAPPED:-unknown}, cold-start speedup: ${SPEEDUP:-n/a}x)"
