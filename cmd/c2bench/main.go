@@ -10,7 +10,7 @@
 //	c2bench -exp all -scale 0.05 -workers 4
 //
 // Experiments: table1, table2, table3, table4, table5, fig6, fig7, fig8,
-// theory, ablations, pipeline, serve, serve-http, solve, shard, load, all.
+// theory, ablations, pipeline, serve, serve-http, solve, shard, load, update, all.
 package main
 
 import (
@@ -27,8 +27,8 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, serve-http, solve, shard, load, all")
-		jsonOut  = flag.String("json", "", "write the pipeline/serve/serve-http/solve/shard/load experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json, BENCH_serve.json, BENCH_http.json, BENCH_solve.json, BENCH_shard.json and BENCH_load.json); when several such experiments run, the experiment name is inserted before the extension")
+		exp      = flag.String("exp", "all", "experiment to run: table1..table5, fig6..fig8, theory, ablations, pipeline, serve, serve-http, solve, shard, load, update, all")
+		jsonOut  = flag.String("json", "", "write the pipeline/serve/serve-http/solve/shard/load/update experiment's summary as JSON to this file (CI records them as benchmarks/BENCH_pipeline.json, BENCH_serve.json, BENCH_http.json, BENCH_solve.json, BENCH_shard.json, BENCH_load.json and BENCH_update.json); when several such experiments run, the experiment name is inserted before the extension")
 		scale    = flag.Float64("scale", 0.05, "dataset scale factor (1 = paper size)")
 		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 42, "master random seed")
@@ -109,8 +109,15 @@ func main() {
 			}
 			return writeSummary(jsonPath("load"), sum)
 		},
+		"update": func() error {
+			sum, err := env.Update()
+			if err != nil {
+				return err
+			}
+			return writeSummary(jsonPath("update"), sum)
+		},
 	}
-	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve", "serve-http", "solve", "shard", "load"}
+	order := []string{"table1", "table2", "table3", "table4", "table5", "fig6", "fig7", "fig8", "theory", "ablations", "pipeline", "serve", "serve-http", "solve", "shard", "load", "update"}
 
 	var toRun []string
 	if *exp == "all" {
@@ -132,7 +139,7 @@ func main() {
 	// (out.json → out.pipeline.json, out.serve.json, out.solve.json).
 	jsonProducers := 0
 	for _, name := range toRun {
-		if name == "pipeline" || name == "serve" || name == "serve-http" || name == "solve" || name == "shard" || name == "load" {
+		if name == "pipeline" || name == "serve" || name == "serve-http" || name == "solve" || name == "shard" || name == "load" || name == "update" {
 			jsonProducers++
 		}
 	}

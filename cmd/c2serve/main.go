@@ -39,6 +39,21 @@
 //	GET  /statsz                        qps, p50/p99, cache hit rate, counters
 //	GET  /metrics                       Prometheus text exposition
 //	POST /admin/reload                  hot-swap to the snapshot on disk
+//	POST /v1/upsert                     absorb profiles without a rebuild (-upserts)
+//	POST /admin/compact                 fold the delta into -snap and hot-swap
+//
+// Freshness (-upserts): the daemon attaches a delta overlay to the
+// loaded index and absorbs profile writes in sub-second time —
+// {"user":-1,"items":[...]} inserts a new user, an existing id merges
+// items, {"upserts":[...]} batches. Queries serve base + delta merged
+// views immediately. The background compactor (-compact-every,
+// -compact-depth, -compact-age) folds the delta back into -snap and
+// hot-swaps the result without dropping writes that race in. Exactly
+// one daemon per snapshot may be writable; read replicas run
+// -read-only and answer writes with 403 and a typed body, as does the
+// router role (a router that proxied writes would split the write
+// stream across replicas — the delta-skew probe below catches exactly
+// that operator error).
 //
 // Hardening (see internal/server/middleware): every request gets an
 // X-Request-ID; handler panics become logged 500s instead of dropped
@@ -57,7 +72,9 @@
 // one as "corrupt" — the daemon keeps serving the old index in both
 // cases, and /statsz carries the failure kind. A router surfaces a
 // shard replica stuck on an old epoch after a hot swap through the same
-// /statsz plumbing (kind "epoch-skew").
+// /statsz plumbing (kind "epoch-skew"), and same-epoch replicas whose
+// upsert cursors diverge — writes landing on more than one replica —
+// as kind "delta-skew".
 package main
 
 import (
@@ -100,6 +117,13 @@ func main() {
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /metrics on this extra admin address (empty disables; keep it on localhost)")
 		faults    = flag.Bool("fault-injection", false, "mount /admin/panic and /admin/delay (soak testing only; never in production)")
 		readTO    = flag.Duration("read-timeout", 30*time.Second, "socket read timeout — bounds slow-loris request bodies")
+
+		upserts      = flag.Bool("upserts", false, "enable the write path: POST /v1/upsert absorbs profiles into a delta overlay, /admin/compact folds it back into -snap")
+		readOnly     = flag.Bool("read-only", false, "refuse /v1/upsert and /admin/compact with 403 (read replicas; routers always refuse)")
+		upsertSeed   = flag.Int64("upsert-seed", 0, "FastRandomHash family seed for upsert placement (match the build's -seed)")
+		compactEvery = flag.Duration("compact-every", 5*time.Second, "background compactor check period (0 disables the background loop)")
+		compactDepth = flag.Int("compact-depth", 1024, "compact once this many upserts are pending (0 disables the depth trigger)")
+		compactAge   = flag.Duration("compact-age", 30*time.Second, "compact once the oldest pending upsert is this old (0 disables the age trigger)")
 
 		role       = flag.String("role", "shard", "serving role: shard (one snapshot) or router (scatter-gather over shard daemons)")
 		manifest   = flag.String("manifest", "", "router: shard manifest written by c2build -shards (required)")
@@ -180,9 +204,20 @@ func main() {
 	if *faults {
 		log.Printf("fault injection ENABLED: /admin/panic and /admin/delay are live")
 	}
+	cfg.Upserts = *upserts
+	cfg.ReadOnly = *readOnly
+	cfg.UpsertParams = c2knn.UpsertConfig{Seed: *upsertSeed}
 	srv, err := server.New(ix, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *upserts {
+		log.Printf("upserts enabled: /v1/upsert and /admin/compact are live")
+		if *compactEvery > 0 && (*compactDepth > 0 || *compactAge > 0) {
+			stop := srv.StartCompactor(*compactEvery, *compactDepth, *compactAge)
+			defer stop()
+			log.Printf("background compactor: every %v, depth ≥ %d or age ≥ %v", *compactEvery, *compactDepth, *compactAge)
+		}
 	}
 
 	if *pprofAddr != "" {

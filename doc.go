@@ -266,6 +266,34 @@
 // router-specific /metrics series (c2_router_*). See EXPERIMENTS.md
 // ("Sharded serving") for the measured scaling and the CI gates.
 //
+// # Incremental maintenance
+//
+// A frozen index can absorb new users and profile updates without a
+// rebuild. Index.EnableUpserts attaches a delta overlay
+// (internal/delta) on top of the frozen base: Index.Upsert
+// fingerprints the incoming profile, places it through the same
+// FastRandomHash cluster descent the builder used, and re-solves only
+// the touched clusters with the blocked similarity kernels, patching
+// reverse edges under strict improvement. Reads merge base + delta
+// through an immutable copy-on-write view swapped by atomic pointer —
+// lock-free, allocation-free, and epoch-consistent with concurrent
+// writers. Delta user ids extend the base contiguously and stay
+// stable across compactions.
+//
+// The daemon exposes the write path as POST /v1/upsert (single or
+// batch) behind the -upserts flag; read replicas and routers run
+// -read-only and refuse writes with 403 {"kind":"read-only"} — the
+// intended topology is exactly one writable daemon per snapshot.
+// A background compactor (-compact-every, plus depth/age triggers and
+// POST /admin/compact) folds delta + base into a fresh v2 snapshot
+// via internal/persist and hot-swaps it through the usual epoch
+// machinery; upserts racing the fold survive, with the absorbed
+// prefix dropped by sequence marker. Delta depth, age and compaction
+// counts surface in /statsz and /metrics, and the router flags
+// same-epoch replicas whose delta cursors disagree ("delta skew").
+// See EXPERIMENTS.md ("Incremental maintenance") for measured
+// latencies and the recall-parity gate.
+//
 // The package root re-exports the stable surface of the internal
 // packages; see the examples directory for complete programs and
 // cmd/c2bench for the experiment harness.

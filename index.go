@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"c2knn/internal/dataset"
+	"c2knn/internal/delta"
 	"c2knn/internal/goldfinger"
 	"c2knn/internal/knng"
 	"c2knn/internal/persist"
@@ -56,6 +57,11 @@ type Index struct {
 	// reference until Close. Nil for built or copy-loaded indexes.
 	mapping *persist.Mapping
 	closed  atomic.Bool
+
+	// overlay is the optional delta layer for incrementally maintained
+	// indexes (see EnableUpserts); nil on plain read-only indexes, where
+	// the query paths pay one pointer load for its absence.
+	overlay atomic.Pointer[delta.Overlay]
 }
 
 // NewIndex freezes g and bundles it with its training dataset. sim may
@@ -190,7 +196,9 @@ func (ix *Index) Close() error {
 }
 
 // Save writes the index to path in the snapshot format (atomically:
-// encode to a temp file, then rename).
+// encode to a temp file, then rename). Only the base artifacts are
+// written; an attached delta overlay is not folded in — use CompactInto
+// for that.
 func (ix *Index) Save(path string) error {
 	return persist.WriteFile(path, &persist.Snapshot{
 		Graph:      ix.graph,
@@ -199,8 +207,14 @@ func (ix *Index) Save(path string) error {
 	})
 }
 
-// NumUsers returns the number of users the index serves.
-func (ix *Index) NumUsers() int { return ix.graph.NumUsers() }
+// NumUsers returns the number of users the index serves, including
+// delta users absorbed through Upsert.
+func (ix *Index) NumUsers() int {
+	if ov := ix.overlay.Load(); ov != nil {
+		return ov.View().NumUsers()
+	}
+	return ix.graph.NumUsers()
+}
 
 // K returns the neighborhood bound the graph was built with.
 func (ix *Index) K() int { return ix.graph.K }
@@ -233,8 +247,13 @@ func (ix *Index) valid(u int32) bool {
 // Neighbors returns views of u's neighbor ids and similarities, sorted
 // by decreasing similarity, or empty views when u is out of range.
 // Zero allocations; the slices alias index storage and must not be
-// mutated.
+// mutated. With upserts enabled the row is the merged base + delta
+// view — patched and delta users resolve to their overlay rows, still
+// allocation-free.
 func (ix *Index) Neighbors(u int32) (ids []int32, sims []float32) {
+	if ov := ix.overlay.Load(); ov != nil {
+		return ov.View().Neighbors(u)
+	}
 	if !ix.valid(u) {
 		return nil, nil
 	}
@@ -244,10 +263,25 @@ func (ix *Index) Neighbors(u int32) (ids []int32, sims []float32) {
 // TopK returns u's best min(k, degree) neighbors as Neighbor values,
 // or nil when u is out of range.
 func (ix *Index) TopK(u int32, k int) []Neighbor {
+	if ov := ix.overlay.Load(); ov != nil {
+		return topKView(ov.View(), u, k, nil)
+	}
 	if !ix.valid(u) {
 		return nil
 	}
 	return ix.graph.TopK(u, k, nil)
+}
+
+// topKView is Frozen.TopK over a merged overlay view.
+func topKView(v *delta.View, u int32, k int, dst []Neighbor) []Neighbor {
+	ids, sims := v.Neighbors(u)
+	if k > len(ids) {
+		k = len(ids)
+	}
+	for i := 0; i < k; i++ {
+		dst = append(dst, Neighbor{ID: ids[i], Sim: float64(sims[i])})
+	}
+	return dst
 }
 
 // Recommend returns up to n items for user u by user-based
@@ -258,6 +292,16 @@ func (ix *Index) TopK(u int32, k int) []Neighbor {
 // scratch is pooled per calling goroutine, so steady-state cost is the
 // returned slice only.
 func (ix *Index) Recommend(u int32, n int) []int32 {
+	if ov := ix.overlay.Load(); ov != nil {
+		v := ov.View()
+		if !v.Valid(u) {
+			return nil
+		}
+		sc := ix.scorers.Get().(*recommend.Scorer)
+		out := sc.RecommendSource(v, u, n, nil)
+		ix.scorers.Put(sc)
+		return out
+	}
 	if !ix.valid(u) {
 		return nil
 	}
@@ -275,6 +319,20 @@ func (ix *Index) Recommend(u int32, n int) []int32 {
 func (ix *Index) TopKBatch(users []int32, k int) [][]Neighbor {
 	out := make([][]Neighbor, len(users))
 	if k <= 0 {
+		return out
+	}
+	if ov := ix.overlay.Load(); ov != nil {
+		v := ov.View()
+		var buf []Neighbor
+		for i, u := range users {
+			start := len(buf)
+			buf = topKView(v, u, k, buf)
+			if len(buf) > start {
+				out[i] = buf[start:len(buf):len(buf)]
+			} else if v.Valid(u) {
+				out[i] = []Neighbor{}
+			}
+		}
 		return out
 	}
 	total := 0
@@ -307,6 +365,19 @@ func (ix *Index) TopKBatch(users []int32, k int) [][]Neighbor {
 // results are identical to calling Recommend user by user.
 func (ix *Index) RecommendBatch(users []int32, n int) [][]int32 {
 	sc := ix.scorers.Get().(*recommend.Scorer)
+	if ov := ix.overlay.Load(); ov != nil {
+		v := ov.View()
+		out := make([][]int32, 0, len(users))
+		for _, u := range users {
+			if !v.Valid(u) {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, sc.RecommendSource(v, u, n, nil))
+		}
+		ix.scorers.Put(sc)
+		return out
+	}
 	out := sc.RecommendBatch(ix.train, ix.graph, users, n, make([][]int32, 0, len(users)))
 	ix.scorers.Put(sc)
 	return out

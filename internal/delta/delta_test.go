@@ -1,0 +1,606 @@
+package delta
+
+import (
+	"fmt"
+	"math"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"c2knn/internal/core"
+	"c2knn/internal/dataset"
+	"c2knn/internal/goldfinger"
+	"c2knn/internal/knng"
+	"c2knn/internal/sets"
+	"c2knn/internal/similarity"
+	"c2knn/internal/synth"
+)
+
+const testGFSeed uint32 = 0x60fd
+
+// testBase builds a small but realistic base: a scaled synthetic ML1M
+// dataset, its fingerprints, and the frozen C² graph.
+func testBase(t *testing.T, scale float64) (*knng.Frozen, *dataset.Dataset, *goldfinger.Set) {
+	t.Helper()
+	d := synth.Generate(synth.ML1M().Scale(scale))
+	gf := goldfinger.MustNew(d, goldfinger.DefaultBits, testGFSeed)
+	g, _ := core.Build(d, similarity.NewCounting(gf), core.Options{
+		K: 10, Workers: 2, Seed: 42,
+	})
+	return g.Freeze(), d, gf
+}
+
+func testOverlay(t *testing.T, scale float64) (*Overlay, *dataset.Dataset) {
+	t.Helper()
+	frozen, d, gf := testBase(t, scale)
+	ov, err := Attach(frozen, d, gf, Config{GFSeed: testGFSeed})
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	return ov, d
+}
+
+// checkRow asserts a merged row is canonical: sorted by sim desc then id
+// asc, no duplicates, no self-edge, all ids valid, sims in [0, 1].
+func checkRow(t *testing.T, v *View, u int32) {
+	t.Helper()
+	ids, sims := v.Neighbors(u)
+	if len(ids) != len(sims) {
+		t.Fatalf("user %d: %d ids vs %d sims", u, len(ids), len(sims))
+	}
+	seen := make(map[int32]bool)
+	for i, id := range ids {
+		if id == u {
+			t.Fatalf("user %d: self edge at %d", u, i)
+		}
+		if !v.Valid(id) {
+			t.Fatalf("user %d: neighbor %d out of range", u, id)
+		}
+		if seen[id] {
+			t.Fatalf("user %d: duplicate neighbor %d", u, id)
+		}
+		seen[id] = true
+		if sims[i] < 0 || sims[i] > 1 || math.IsNaN(float64(sims[i])) {
+			t.Fatalf("user %d: sim[%d] = %v out of range", u, i, sims[i])
+		}
+		if i > 0 {
+			if sims[i] > sims[i-1] || (sims[i] == sims[i-1] && ids[i] <= ids[i-1]) {
+				t.Fatalf("user %d: row not canonical at %d: (%d,%v) after (%d,%v)",
+					u, i, ids[i], sims[i], ids[i-1], sims[i-1])
+			}
+		}
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	frozen, d, gf := testBase(t, 0.01)
+	if _, err := Attach(nil, d, gf, Config{}); err == nil {
+		t.Error("Attach accepted a nil graph")
+	}
+	if _, err := Attach(frozen, d, nil, Config{}); err == nil {
+		t.Error("Attach accepted nil fingerprints")
+	}
+	if _, err := Attach(frozen, d, gf, Config{K: frozen.K + 1}); err == nil {
+		t.Error("Attach accepted a mismatched K")
+	}
+	if _, err := Attach(frozen, d, gf, Config{MaxItems: 1}); err == nil {
+		t.Error("Attach accepted MaxItems below the base universe")
+	}
+	short := &dataset.Dataset{Name: "short", NumItems: d.NumItems, Profiles: d.Profiles[:len(d.Profiles)-1]}
+	if _, err := Attach(frozen, short, gf, Config{}); err == nil {
+		t.Error("Attach accepted inconsistent user counts")
+	}
+}
+
+func TestUpsertErrors(t *testing.T) {
+	ov, d := testOverlay(t, 0.01)
+	if _, err := ov.Upsert(-1, nil); err == nil {
+		t.Error("accepted an empty item set")
+	}
+	if _, err := ov.Upsert(-1, []int32{-3}); err == nil {
+		t.Error("accepted a negative item id")
+	}
+	if _, err := ov.Upsert(-1, []int32{ov.cfg.MaxItems}); err == nil {
+		t.Error("accepted an item id at MaxItems")
+	}
+	if _, err := ov.Upsert(int32(d.NumUsers()), []int32{1}); err == nil {
+		t.Error("accepted an out-of-range existing user id")
+	}
+}
+
+func TestInsertNewUser(t *testing.T) {
+	ov, d := testOverlay(t, 0.02)
+	baseN := int32(d.NumUsers())
+
+	// Clone an existing profile: the new user must find near-identical
+	// neighbors to the clone source's.
+	src := int32(7)
+	profile := slices.Clone(d.Profiles[src])
+	before := ov.View()
+
+	res, err := ov.Upsert(-1, profile)
+	if err != nil {
+		t.Fatalf("Upsert: %v", err)
+	}
+	if !res.Created || res.User != baseN {
+		t.Fatalf("want created id %d, got %+v", baseN, res)
+	}
+	if res.Candidates == 0 {
+		t.Fatal("upsert scored no candidates — placement found nothing")
+	}
+
+	after := ov.View()
+	if after.NumUsers() != int(baseN)+1 || before.NumUsers() != int(baseN) {
+		t.Fatalf("user counts: before %d after %d", before.NumUsers(), after.NumUsers())
+	}
+	// The old view must not see the write (epoch consistency).
+	if ids, _ := before.Neighbors(baseN); ids != nil {
+		t.Fatal("pre-upsert view exposes the new user")
+	}
+	if got := after.Profile(baseN); !slices.Equal(got, sets.Normalize(slices.Clone(profile))) {
+		t.Fatalf("profile mismatch: %v", got)
+	}
+	checkRow(t, after, baseN)
+
+	// An identical profile shares every item, so the clone source must
+	// appear in the row with similarity 1 (fingerprints are equal).
+	ids, sims := after.Neighbors(baseN)
+	if len(ids) == 0 {
+		t.Fatal("new user has an empty row")
+	}
+	at := slices.Index(ids, src)
+	if at < 0 {
+		t.Fatalf("clone source %d missing from row %v", src, ids)
+	}
+	if sims[at] != 1 {
+		t.Fatalf("clone similarity = %v, want 1", sims[at])
+	}
+
+	// Symmetry: the patched neighbors now hold the new user.
+	reverse := 0
+	for _, v := range ids {
+		nIDs, _ := after.Neighbors(v)
+		if slices.Contains(nIDs, baseN) {
+			reverse++
+		}
+	}
+	if res.Patched != reverse {
+		t.Fatalf("Patched = %d but %d reverse edges found", res.Patched, reverse)
+	}
+	if reverse == 0 {
+		t.Fatal("no reverse edge was patched for an identical profile")
+	}
+	// Every patched row must still be canonical and within K.
+	for _, v := range ids {
+		checkRow(t, after, v)
+		nIDs, _ := after.Neighbors(v)
+		if len(nIDs) > ov.cfg.K {
+			t.Fatalf("patched row of %d exceeds K: %d", v, len(nIDs))
+		}
+	}
+}
+
+func TestUpdateExistingUser(t *testing.T) {
+	ov, d := testOverlay(t, 0.02)
+	u := int32(3)
+	old := slices.Clone(d.Profiles[u])
+
+	// No-op: re-upserting a subset of the existing profile must not burn
+	// a sequence number.
+	seq0 := ov.View().Seq()
+	res, err := ov.Upsert(u, old[:1])
+	if err != nil {
+		t.Fatalf("no-op upsert: %v", err)
+	}
+	if res.Seq != seq0 || res.Created {
+		t.Fatalf("no-op upsert advanced state: %+v", res)
+	}
+
+	// Merge in another user's items: the profile must become the union
+	// and the row must be re-solved.
+	donor := d.Profiles[11]
+	res, err = ov.Upsert(u, donor)
+	if err != nil {
+		t.Fatalf("update upsert: %v", err)
+	}
+	if res.Created || res.User != u {
+		t.Fatalf("update reported %+v", res)
+	}
+	v := ov.View()
+	want := sets.Union(old, sets.Normalize(slices.Clone(donor)))
+	if got := v.Profile(u); !slices.Equal(got, want) {
+		t.Fatalf("merged profile mismatch:\n got %v\nwant %v", got, want)
+	}
+	checkRow(t, v, u)
+	if v.Seq() != seq0+1 {
+		t.Fatalf("seq = %d, want %d", v.Seq(), seq0+1)
+	}
+}
+
+func TestNewItemsBeyondBaseUniverse(t *testing.T) {
+	ov, d := testOverlay(t, 0.01)
+	base := int32(d.NumItems)
+	items := []int32{base, base + 1, base + 2, base + 100}
+	res, err := ov.Upsert(-1, items)
+	if err != nil {
+		t.Fatalf("Upsert with unseen items: %v", err)
+	}
+	v := ov.View()
+	if v.NumItems() < base+101 {
+		t.Fatalf("NumItems = %d, want ≥ %d", v.NumItems(), base+101)
+	}
+	if got := v.Profile(res.User); !slices.Equal(got, items) {
+		t.Fatalf("profile = %v, want %v", got, items)
+	}
+	checkRow(t, v, res.User)
+
+	// A second user with the same unseen items must find the first at
+	// similarity 1: new-item hashing is deterministic.
+	res2, err := ov.Upsert(-1, items)
+	if err != nil {
+		t.Fatalf("second unseen-item upsert: %v", err)
+	}
+	ids, sims := ov.View().Neighbors(res2.User)
+	at := slices.Index(ids, res.User)
+	if at < 0 || sims[at] != 1 {
+		t.Fatalf("twin not found at sim 1: ids=%v sims=%v", ids, sims)
+	}
+}
+
+func TestStats(t *testing.T) {
+	ov, d := testOverlay(t, 0.01)
+	now := time.Unix(1000, 0)
+	ov.cfg.now = func() time.Time { return now }
+
+	s := ov.Stats()
+	if s.Depth != 0 || s.Users != 0 || s.AgeSec != 0 {
+		t.Fatalf("fresh overlay stats: %+v", s)
+	}
+	if _, err := ov.Upsert(-1, d.Profiles[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ov.Upsert(2, d.Profiles[9]); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(3 * time.Second)
+	s = ov.Stats()
+	if s.Depth != 2 || s.Users != 1 || s.Upserts != 2 || s.Seq != 2 {
+		t.Fatalf("stats after 2 upserts: %+v", s)
+	}
+	if s.AgeSec != 3 {
+		t.Fatalf("AgeSec = %v, want 3", s.AgeSec)
+	}
+}
+
+func TestCompactRoundTrip(t *testing.T) {
+	ov, d := testOverlay(t, 0.02)
+	baseN := int32(d.NumUsers())
+
+	// Mix of inserts and updates.
+	for i := 0; i < 8; i++ {
+		if _, err := ov.Upsert(-1, d.Profiles[i*3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ov.Upsert(5, d.Profiles[20]); err != nil {
+		t.Fatal(err)
+	}
+
+	cmp, err := ov.Compact()
+	if err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if cmp.Absorbed != 9 {
+		t.Fatalf("Absorbed = %d, want 9", cmp.Absorbed)
+	}
+	if n := cmp.Train.NumUsers(); n != int(baseN)+8 {
+		t.Fatalf("compacted users = %d, want %d", n, baseN+8)
+	}
+
+	// The compacted artifacts must reproduce the view's merged state
+	// exactly.
+	v := ov.View()
+	for u := int32(0); u < int32(cmp.Train.NumUsers()); u++ {
+		if !slices.Equal(cmp.Train.Profiles[u], v.Profile(u)) {
+			t.Fatalf("user %d: compacted profile diverges", u)
+		}
+		wantIDs, wantSims := v.Neighbors(u)
+		gotIDs, gotSims := cmp.Graph.Neighbors(u)
+		if !slices.Equal(gotIDs, wantIDs) || !slices.Equal(gotSims, wantSims) {
+			t.Fatalf("user %d: compacted row diverges", u)
+		}
+		wantSig, _ := v.signature(u)
+		if !slices.Equal(cmp.GoldFinger.Signature(u), wantSig) {
+			t.Fatalf("user %d: compacted signature diverges", u)
+		}
+	}
+
+	// Upserts racing in after the capture must survive the rebase...
+	late, err := ov.Upsert(-1, d.Profiles[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.Rebase(cmp.Graph, cmp.Train, cmp.GoldFinger, cmp.Marker); err != nil {
+		t.Fatalf("Rebase: %v", err)
+	}
+	v = ov.View()
+	if v.BaseUsers() != cmp.Train.NumUsers() {
+		t.Fatalf("BaseUsers = %d, want %d", v.BaseUsers(), cmp.Train.NumUsers())
+	}
+	if v.NumUsers() != cmp.Train.NumUsers()+1 {
+		t.Fatalf("NumUsers = %d, want %d", v.NumUsers(), cmp.Train.NumUsers()+1)
+	}
+	if got := v.Profile(late.User); !slices.Equal(got, sets.Normalize(slices.Clone(d.Profiles[1]))) {
+		t.Fatal("late upsert lost its profile across the rebase")
+	}
+	checkRow(t, v, late.User)
+
+	// ...while absorbed patches are pruned (entries at or below the
+	// marker are gone; base reads serve them now).
+	s := ov.Stats()
+	if s.Depth != 1 || s.Users != 1 || s.Compactions != 1 {
+		t.Fatalf("post-rebase stats: %+v", s)
+	}
+	for k, e := range v.rows {
+		if e.seq <= cmp.Marker {
+			t.Fatalf("row patch for %d at seq %d survived marker %d", k, e.seq, cmp.Marker)
+		}
+	}
+
+	// A second compaction folds the straggler too.
+	cmp2, err := ov.Compact()
+	if err != nil {
+		t.Fatalf("second Compact: %v", err)
+	}
+	if cmp2.Absorbed != 1 {
+		t.Fatalf("second Absorbed = %d, want 1", cmp2.Absorbed)
+	}
+	if err := ov.Rebase(cmp2.Graph, cmp2.Train, cmp2.GoldFinger, cmp2.Marker); err != nil {
+		t.Fatalf("second Rebase: %v", err)
+	}
+	s = ov.Stats()
+	if s.Depth != 0 || s.Users != 0 || s.AgeSec != 0 {
+		t.Fatalf("drained overlay stats: %+v", s)
+	}
+
+	// Ids stayed stable: upserting onto a previously-delta id works.
+	if _, err := ov.Upsert(late.User, d.Profiles[2]); err != nil {
+		t.Fatalf("upsert onto absorbed delta id: %v", err)
+	}
+	checkRow(t, ov.View(), late.User)
+}
+
+func TestRebaseValidation(t *testing.T) {
+	ov, d := testOverlay(t, 0.01)
+	if _, err := ov.Upsert(-1, d.Profiles[0]); err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := ov.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ov.Rebase(nil, cmp.Train, cmp.GoldFinger, cmp.Marker); err == nil {
+		t.Error("Rebase accepted a nil graph")
+	}
+	// Artifacts that lost the delta user: rebase must refuse, since the
+	// marker claims the upsert was absorbed but the base doesn't hold it.
+	oldView := ov.View()
+	if err := ov.Rebase(oldView.graph, oldView.train, oldView.gf, cmp.Marker); err == nil {
+		t.Error("Rebase accepted artifacts missing an absorbed user")
+	}
+}
+
+// TestConcurrentUpsertsAndReads hammers the overlay with concurrent
+// writers and readers; run under -race this is the memory-safety proof
+// of the COW view protocol. Readers additionally assert monotone
+// sequence numbers and per-view invariants.
+func TestConcurrentUpsertsAndReads(t *testing.T) {
+	ov, d := testOverlay(t, 0.02)
+	const writers, readers, upserts = 4, 4, 40
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < upserts; i++ {
+				p := d.Profiles[(w*upserts+i*7)%d.NumUsers()]
+				if _, err := ov.Upsert(-1, p); err != nil {
+					errc <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			var lastSeq uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := ov.View()
+				if s := v.Seq(); s < lastSeq {
+					errc <- fmt.Errorf("reader %d: seq went backwards %d → %d", r, lastSeq, s)
+					return
+				} else {
+					lastSeq = s
+				}
+				for u := int32(0); u < int32(v.NumUsers()); u += 17 {
+					ids, sims := v.Neighbors(u)
+					if len(ids) != len(sims) {
+						errc <- fmt.Errorf("reader %d: ragged row for %d", r, u)
+						return
+					}
+					for i := 1; i < len(sims); i++ {
+						if sims[i] > sims[i-1] {
+							errc <- fmt.Errorf("reader %d: unsorted row for %d", r, u)
+							return
+						}
+					}
+					if v.Profile(u) == nil {
+						errc <- fmt.Errorf("reader %d: user %d has no profile", r, u)
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	// Writers finish first; then release the readers.
+	for {
+		s := ov.Stats()
+		if s.Users == writers*upserts {
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(stop)
+	<-done
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	v := ov.View()
+	if v.NumUsers() != d.NumUsers()+writers*upserts {
+		t.Fatalf("NumUsers = %d, want %d", v.NumUsers(), d.NumUsers()+writers*upserts)
+	}
+	for u := int32(0); u < int32(v.NumUsers()); u++ {
+		checkRow(t, v, u)
+	}
+}
+
+// TestCompactionUnderLoad folds repeatedly while writers keep landing
+// upserts; no write may be lost and every intermediate state must
+// validate.
+func TestCompactionUnderLoad(t *testing.T) {
+	ov, d := testOverlay(t, 0.02)
+	const writers, upserts = 3, 30
+
+	var wg sync.WaitGroup
+	errc := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < upserts; i++ {
+				p := d.Profiles[(w*upserts+i*5)%d.NumUsers()]
+				if _, err := ov.Upsert(-1, p); err != nil {
+					errc <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	compactions := 0
+	for {
+		cmp, err := ov.Compact()
+		if err != nil {
+			t.Fatalf("Compact under load: %v", err)
+		}
+		if err := ov.Rebase(cmp.Graph, cmp.Train, cmp.GoldFinger, cmp.Marker); err != nil {
+			t.Fatalf("Rebase under load: %v", err)
+		}
+		compactions++
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		case <-done:
+			// One final fold for the stragglers.
+			cmp, err := ov.Compact()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ov.Rebase(cmp.Graph, cmp.Train, cmp.GoldFinger, cmp.Marker); err != nil {
+				t.Fatal(err)
+			}
+			v := ov.View()
+			if v.NumUsers() != d.NumUsers()+writers*upserts {
+				t.Fatalf("lost upserts: %d users, want %d", v.NumUsers(), d.NumUsers()+writers*upserts)
+			}
+			if v.BaseUsers() != v.NumUsers() {
+				t.Fatalf("final fold left %d delta users", v.NumUsers()-v.BaseUsers())
+			}
+			s := ov.Stats()
+			if s.Depth != 0 {
+				t.Fatalf("final depth = %d", s.Depth)
+			}
+			if s.Compactions != uint64(compactions)+1 {
+				t.Fatalf("compactions = %d, want %d", s.Compactions, compactions+1)
+			}
+			for u := int32(0); u < int32(v.NumUsers()); u++ {
+				checkRow(t, v, u)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestMergedReadAllocs proves the read hot path of a patched view stays
+// allocation-free.
+func TestMergedReadAllocs(t *testing.T) {
+	ov, d := testOverlay(t, 0.01)
+	for i := 0; i < 5; i++ {
+		if _, err := ov.Upsert(-1, d.Profiles[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v := ov.View()
+	users := []int32{0, 1, int32(d.NumUsers()), int32(d.NumUsers()) + 2}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, u := range users {
+			v.Neighbors(u)
+			v.Profile(u)
+			v.signature(u)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("merged reads allocate %v per run, want 0", allocs)
+	}
+}
+
+// TestDescendMatchesBuilder places a base user's own profile and checks
+// the descent lands in a cluster containing that user — the overlay
+// replays the builder's partition, so a member must find itself.
+func TestDescendMatchesBuilder(t *testing.T) {
+	ov, d := testOverlay(t, 0.02)
+	v := ov.View()
+	for _, u := range []int32{0, 5, 50, int32(d.NumUsers() - 1)} {
+		p := d.Profiles[u]
+		found := false
+		for fn := 0; fn < ov.cfg.FRH.T && !found; fn++ {
+			idx, ok := ov.hasher.UserHashAny(fn, p)
+			if !ok {
+				continue
+			}
+			members := ov.descend(v, fn, idx, p)
+			found = slices.Contains(members, u)
+		}
+		if !found {
+			t.Errorf("user %d does not descend into any cluster containing itself", u)
+		}
+	}
+}

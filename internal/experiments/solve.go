@@ -41,8 +41,8 @@ type SolveSummary struct {
 	// the large blocked solve under that kernel versus the same solve
 	// with the kernel forced to scalar — the vectorization's isolated
 	// contribution (1.0 when the active kernel already is scalar).
-	Kernel        string  `json:"kernel"`
-	KernelSpeedup float64 `json:"kernel_speedup"`
+	Kernel         string  `json:"kernel"`
+	KernelSpeedup  float64 `json:"kernel_speedup"`
 	HyrecBlockedMS float64 `json:"hyrec_blocked_ms"`
 	HyrecScalarMS  float64 `json:"hyrec_scalar_ms"`
 	HyrecSpeedup   float64 `json:"hyrec_speedup"`

@@ -96,6 +96,7 @@ type Hasher struct {
 	b      int
 	t      int
 	tables [][]uint16 // tables[fn][item] ∈ [1, b]
+	seeds  []uint32   // per-configuration seeds, for items beyond the tables
 }
 
 // NewHasher builds the per-item hash tables for a dataset. b must be at
@@ -106,16 +107,59 @@ func NewHasher(numItems int32, o Options) *Hasher {
 		panic("frh: B must fit in 16 bits")
 	}
 	fam := jenkins.NewFamily(o.T, o.Seed)
-	h := &Hasher{b: o.B, t: o.T, tables: make([][]uint16, o.T)}
+	h := &Hasher{b: o.B, t: o.T, tables: make([][]uint16, o.T), seeds: make([]uint32, o.T)}
 	for fn := 0; fn < o.T; fn++ {
 		tab := make([]uint16, numItems)
 		seed := fam.Seed(fn)
+		h.seeds[fn] = seed
 		for it := int32(0); it < numItems; it++ {
 			tab[it] = uint16(jenkins.Hash32(uint32(it), seed)%uint32(o.B)) + 1
 		}
 		h.tables[fn] = tab
 	}
 	return h
+}
+
+// itemHashAny returns h_fn(item) for any non-negative item id: a table
+// lookup inside the precomputed universe, a direct hash beyond it.
+// Profiles arriving through the delta-overlay path may reference items
+// the build never saw; both ranges use the same seeded hash, so the two
+// paths agree wherever they overlap.
+func (h *Hasher) itemHashAny(fn int, item int32) uint32 {
+	if tab := h.tables[fn]; int(item) < len(tab) {
+		return uint32(tab[item])
+	}
+	return jenkins.Hash32(uint32(item), h.seeds[fn])%uint32(h.b) + 1
+}
+
+// UserHashAny is UserHash for profiles that may carry item ids beyond
+// the precomputed tables (incremental upserts with new items). On
+// profiles inside the build universe it returns exactly UserHash's
+// value.
+func (h *Hasher) UserHashAny(fn int, profile []int32) (uint32, bool) {
+	if len(profile) == 0 {
+		return 0, false
+	}
+	best := h.itemHashAny(fn, profile[0])
+	for _, it := range profile[1:] {
+		if v := h.itemHashAny(fn, it); v < best {
+			best = v
+		}
+	}
+	return best, true
+}
+
+// UserHashAboveAny is UserHashAbove for profiles that may carry item
+// ids beyond the precomputed tables; see UserHashAny.
+func (h *Hasher) UserHashAboveAny(fn int, profile []int32, eta uint32) (uint32, bool) {
+	best := uint32(0)
+	for _, it := range profile {
+		v := h.itemHashAny(fn, it)
+		if v > eta && (best == 0 || v < best) {
+			best = v
+		}
+	}
+	return best, best != 0
 }
 
 // B returns the number of clusters per configuration.

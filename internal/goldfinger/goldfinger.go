@@ -62,6 +62,30 @@ func New(d *dataset.Dataset, bitsN int, seed uint32) (*Set, error) {
 	return s, nil
 }
 
+// Summarize fingerprints a single profile with the same item-hash family
+// New uses: bit Hash32(item, seed) mod bits is set for every item of the
+// profile. dst must hold exactly bitsN/64 words; it is zeroed first. The
+// fingerprint popcount is returned. Summarizing a profile of a dataset
+// with New's bits and seed reproduces that user's Set row bit for bit —
+// the delta-overlay path relies on this to score freshly upserted
+// profiles against a snapshot's signature slab.
+func Summarize(profile []int32, bitsN int, seed uint32, dst []uint64) int32 {
+	if bitsN <= 0 || bitsN%64 != 0 || len(dst) != bitsN/64 {
+		panic(fmt.Sprintf("goldfinger: summarize needs bits%%64==0 and a %d-word dst, got bits=%d len=%d",
+			bitsN/64, bitsN, len(dst)))
+	}
+	clear(dst)
+	for _, it := range profile {
+		b := jenkins.Hash32(uint32(it), seed) % uint32(bitsN)
+		dst[b>>6] |= 1 << (b & 63)
+	}
+	n := 0
+	for _, w := range dst {
+		n += bits.OnesCount64(w)
+	}
+	return int32(n)
+}
+
 // MustNew is New, panicking on invalid width; for tests and examples.
 func MustNew(d *dataset.Dataset, bitsN int, seed uint32) *Set {
 	s, err := New(d, bitsN, seed)

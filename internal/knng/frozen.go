@@ -71,6 +71,12 @@ func sortNeighborsNarrowed(s []Neighbor) {
 	})
 }
 
+// SortCanonical orders s into the adjacency order a Frozen stores —
+// decreasing float32-narrowed similarity, ties by ascending id (see
+// sortNeighborsNarrowed). Exported for the delta overlay, whose patched
+// rows must interleave with frozen rows edge-for-edge.
+func SortCanonical(s []Neighbor) { sortNeighborsNarrowed(s) }
+
 // Freeze flattens the graph into its immutable CSR serving form. The
 // graph itself is not modified and may keep evolving afterwards; the
 // returned Frozen shares no storage with it.

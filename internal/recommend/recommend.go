@@ -174,6 +174,47 @@ func (s *Scorer) Recommend(train *dataset.Dataset, g *knng.Frozen, u int32, n in
 	return rankScored(s.ranked, n, dst)
 }
 
+// Source is the read surface RecommendSource scores over: a graph-and-
+// profiles view that may be merged from several storages (the delta
+// overlay's base + patch view is the motivating implementation; a plain
+// dataset + frozen pair satisfies it trivially). Neighbors must return
+// rows sorted by decreasing similarity, Profile a sorted duplicate-free
+// item set, and NumItems a bound on every item id either returns.
+type Source interface {
+	NumItems() int32
+	Profile(u int32) []int32
+	Neighbors(u int32) ([]int32, []float32)
+}
+
+// RecommendSource is Recommend over a Source instead of a concrete
+// dataset + frozen pair — semantics (scores, exclusion, tie order) are
+// identical; only the storage the rows and profiles come from differs.
+// The serving path for upsert-enabled indexes: neighbor rows and
+// profiles resolve through the merged view, so recommendations reflect
+// absorbed upserts immediately. Appends to dst and returns the extended
+// slice; allocation-free when dst is recycled.
+func (s *Scorer) RecommendSource(src Source, u int32, n int, dst []int32) []int32 {
+	if int(src.NumItems()) > len(s.scores) {
+		s.scores = make([]float64, src.NumItems())
+	}
+	own := src.Profile(u)
+	ids, sims := src.Neighbors(u)
+	for i, v := range ids {
+		sim := float64(sims[i])
+		if sim <= 0 {
+			continue
+		}
+		s.accumulateRow(own, src.Profile(v), sim)
+	}
+	s.ranked = s.ranked[:0]
+	for _, it := range s.touched {
+		s.ranked = append(s.ranked, scored{it, s.scores[it]})
+		s.scores[it] = 0
+	}
+	s.touched = s.touched[:0]
+	return rankScored(s.ranked, n, dst)
+}
+
 // accumulateRow adds sim to the dense score of every item of row not
 // present in own. Both slices are sorted and duplicate-free, so the
 // exclusion runs as a single merge — own's cursor only ever advances —

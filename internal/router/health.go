@@ -10,10 +10,11 @@ import (
 
 // healthResponse mirrors the shard daemon's /healthz body.
 type healthResponse struct {
-	Status string `json:"status"`
-	Users  int    `json:"users"`
-	K      int    `json:"k"`
-	Epoch  uint64 `json:"epoch"`
+	Status   string `json:"status"`
+	Users    int    `json:"users"`
+	K        int    `json:"k"`
+	Epoch    uint64 `json:"epoch"`
+	DeltaSeq uint64 `json:"delta_seq"`
 }
 
 // healthLoop polls every replica's /healthz on the configured period.
@@ -52,9 +53,13 @@ func (rt *Router) PollHealth() {
 
 	skew := false
 	var skewMsg string
+	dSkew := false
+	var dSkewMsg string
 	for _, sh := range rt.shards {
 		var lo, hi uint64
 		seen := false
+		var dLo, dHi uint64
+		dSeen := false
 		for _, rep := range sh.replicas {
 			h, err := rt.probe(ctx, rep)
 			if err != nil {
@@ -64,6 +69,7 @@ func (rt *Router) PollHealth() {
 			rep.healthy.Store(h.Status == "ok")
 			rep.epoch.Store(h.Epoch)
 			rep.users.Store(int64(h.Users))
+			rep.deltaSeq.Store(h.DeltaSeq)
 			rep.mu.Lock()
 			rep.lastErr = ""
 			rep.mu.Unlock()
@@ -75,6 +81,13 @@ func (rt *Router) PollHealth() {
 					hi = h.Epoch
 				}
 				seen = true
+				if !dSeen || h.DeltaSeq < dLo {
+					dLo = h.DeltaSeq
+				}
+				if !dSeen || h.DeltaSeq > dHi {
+					dHi = h.DeltaSeq
+				}
+				dSeen = true
 			}
 		}
 		if seen && lo != hi && !skew {
@@ -83,12 +96,27 @@ func (rt *Router) PollHealth() {
 		} else if seen && lo != hi {
 			skew = true
 		}
+		// Delta skew is only meaningful between replicas on the same
+		// epoch: across a half-landed swap the sequence cursors restart,
+		// and the epoch skew above already covers that incident.
+		if dSeen && lo == hi && dLo != dHi {
+			if !dSkew {
+				dSkewMsg = fmt.Sprintf("shard %d replicas disagree about the upsert cursor (min %d, max %d): writes are landing on more than one replica, or a read replica missed a compaction", sh.spec.ID, dLo, dHi)
+			}
+			dSkew = true
+		}
 	}
 	if skew && !rt.skewed.Swap(true) {
 		rt.stats.RecordReloadFailure("epoch-skew", skewMsg)
 		rt.logf("router: %s", skewMsg)
 	} else if !skew {
 		rt.skewed.Store(false)
+	}
+	if dSkew && !rt.deltaSkewed.Swap(true) {
+		rt.stats.RecordReloadFailure("delta-skew", dSkewMsg)
+		rt.logf("router: %s", dSkewMsg)
+	} else if !dSkew {
+		rt.deltaSkewed.Store(false)
 	}
 }
 

@@ -149,10 +149,11 @@ func (c *Config) setDefaults() {
 // replica is one upstream address plus the health the poll loop last
 // observed.
 type replica struct {
-	base    string
-	healthy atomic.Bool
-	epoch   atomic.Uint64
-	users   atomic.Int64
+	base     string
+	healthy  atomic.Bool
+	epoch    atomic.Uint64
+	users    atomic.Int64
+	deltaSeq atomic.Uint64 // upsert cursor the replica last reported (0: none)
 
 	mu      sync.Mutex
 	lastErr string
@@ -176,10 +177,11 @@ type Router struct {
 	stats   *Stats
 	handler http.Handler
 
-	skewed    atomic.Bool // current skew state (edge-triggers the reload-failure record)
-	healthWG  sync.WaitGroup
-	healthCtx context.Context
-	stop      context.CancelFunc
+	skewed      atomic.Bool // current epoch-skew state (edge-triggers the reload-failure record)
+	deltaSkewed atomic.Bool // current delta-skew state (same edge discipline)
+	healthWG    sync.WaitGroup
+	healthCtx   context.Context
+	stop        context.CancelFunc
 }
 
 // New builds a Router over cfg's shard table and starts the health
@@ -232,6 +234,7 @@ func New(cfg Config) (*Router, error) {
 	mux.Handle("/v1/neighbors", query(func(w http.ResponseWriter, r *http.Request) { rt.serveQuery(w, r, server.EpNeighbors) }))
 	mux.Handle("/v1/topk", query(func(w http.ResponseWriter, r *http.Request) { rt.serveQuery(w, r, server.EpTopK) }))
 	mux.Handle("/v1/recommend", query(func(w http.ResponseWriter, r *http.Request) { rt.serveQuery(w, r, server.EpRecommend) }))
+	mux.Handle("/v1/upsert", query(rt.serveUpsert))
 	mux.HandleFunc("/healthz", rt.serveHealthz)
 	mux.HandleFunc("/statsz", rt.serveStatsz)
 	mux.HandleFunc("/metrics", rt.serveMetrics)
@@ -284,6 +287,30 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+// upsertRefusal mirrors the shard daemon's typed 403 body so clients
+// see one wire shape for "writes don't go here" across the tier.
+type upsertRefusal struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// serveUpsert refuses writes with a typed 403: the router is a
+// stateless read tier, and proxying an upsert to whichever replica a
+// retry policy happened to pick would split the write stream across
+// replicas — exactly the divergence the delta-skew probe exists to
+// catch. Writes go to the shard's single writable daemon directly.
+func (rt *Router) serveUpsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "upsert requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, http.StatusForbidden, upsertRefusal{
+		Error: "the router tier is read-only; send writes to the shard's writable daemon",
+		Kind:  "read-only",
+	})
 }
 
 func countParam(ep server.Endpoint) string {

@@ -41,6 +41,7 @@ type ReplicaStatus struct {
 	Healthy   bool   `json:"healthy"`
 	Epoch     uint64 `json:"epoch"`
 	Users     int    `json:"users"`
+	DeltaSeq  uint64 `json:"delta_seq,omitempty"`
 	LastError string `json:"last_error,omitempty"`
 }
 
@@ -53,6 +54,7 @@ type ShardStatus struct {
 	Hi        uint32          `json:"hi"`
 	Replicas  []ReplicaStatus `json:"replicas"`
 	EpochSkew bool            `json:"epoch_skew"`
+	DeltaSkew bool            `json:"delta_skew"`
 }
 
 // routerSection is the router-specific block of /statsz.
@@ -67,6 +69,7 @@ type routerSection struct {
 	EpochSkew      bool          `json:"epoch_skew"`
 	EpochMin       uint64        `json:"epoch_min"`
 	EpochMax       uint64        `json:"epoch_max"`
+	DeltaSkew      bool          `json:"delta_skew"`
 }
 
 // statszResponse embeds the shard-tier snapshot (flattened into the
@@ -93,14 +96,15 @@ func (rt *Router) routerSection() routerSection {
 	first := true
 	for _, sh := range rt.shards {
 		ss := ShardStatus{ID: sh.spec.ID, Lo: sh.spec.Range.Lo, Hi: sh.spec.Range.Hi}
-		var lo, hi uint64
+		var lo, hi, dLo, dHi uint64
 		seen := false
 		for _, rep := range sh.replicas {
 			rs := ReplicaStatus{
-				Addr:    rep.base,
-				Healthy: rep.healthy.Load(),
-				Epoch:   rep.epoch.Load(),
-				Users:   int(rep.users.Load()),
+				Addr:     rep.base,
+				Healthy:  rep.healthy.Load(),
+				Epoch:    rep.epoch.Load(),
+				Users:    int(rep.users.Load()),
+				DeltaSeq: rep.deltaSeq.Load(),
 			}
 			rep.mu.Lock()
 			rs.LastError = rep.lastErr
@@ -113,12 +117,23 @@ func (rt *Router) routerSection() routerSection {
 				if !seen || rs.Epoch > hi {
 					hi = rs.Epoch
 				}
+				if !seen || rs.DeltaSeq < dLo {
+					dLo = rs.DeltaSeq
+				}
+				if !seen || rs.DeltaSeq > dHi {
+					dHi = rs.DeltaSeq
+				}
 				seen = true
 			}
 		}
 		ss.EpochSkew = seen && lo != hi
 		if ss.EpochSkew {
 			sec.EpochSkew = true
+		}
+		// See PollHealth: cursors only compare within one epoch.
+		ss.DeltaSkew = seen && lo == hi && dLo != dHi
+		if ss.DeltaSkew {
+			sec.DeltaSkew = true
 		}
 		if seen {
 			if first || lo < sec.EpochMin {
@@ -186,6 +201,12 @@ func (rt *Router) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		skew = 1
 	}
 	fmt.Fprintf(w, "c2_router_epoch_skew %d\n", skew)
+	gauge("c2_router_delta_skew", "1 when same-epoch replicas of some shard disagree about the upsert cursor.")
+	dskew := 0
+	if sec.DeltaSkew {
+		dskew = 1
+	}
+	fmt.Fprintf(w, "c2_router_delta_skew %d\n", dskew)
 	for _, ss := range sec.Shards {
 		healthy := 0
 		for _, rep := range ss.Replicas {

@@ -287,7 +287,7 @@ func TestServerReloadFailureSurfacing(t *testing.T) {
 	}
 
 	for i, corrupt := range [][]byte{
-		good[:len(good)/2],                                // truncated
+		good[:len(good)/2], // truncated
 		append(append([]byte{}, good[:40]...), good[41:]...), // byte removed mid-payload
 	} {
 		replaceFile(t, snap, corrupt)

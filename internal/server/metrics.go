@@ -83,6 +83,23 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("c2_cache_entries", "Result-cache resident entries.")
 	fmt.Fprintf(w, "c2_cache_entries %d\n", s.cache.Len())
 
+	counter("c2_upserts_total", "Profiles absorbed through /v1/upsert.")
+	fmt.Fprintf(w, "c2_upserts_total %d\n", stats.upserts.Load())
+	counter("c2_upsert_errors_total", "Upsert entries rejected (bad items or user id).")
+	fmt.Fprintf(w, "c2_upsert_errors_total %d\n", stats.upsertErrors.Load())
+	counter("c2_compactions_total", "Completed delta compaction swaps.")
+	fmt.Fprintf(w, "c2_compactions_total %d\n", stats.compactions.Load())
+	counter("c2_compaction_failures_total", "Compaction cycles that failed (old state kept serving).")
+	fmt.Fprintf(w, "c2_compaction_failures_total %d\n", stats.compactFail.Load())
+	if ds, ok := st.ix.DeltaStats(); ok {
+		gauge("c2_delta_depth", "Upserts absorbed but not yet folded into a snapshot.")
+		fmt.Fprintf(w, "c2_delta_depth %d\n", ds.Depth)
+		gauge("c2_delta_users", "Delta users beyond the base snapshot.")
+		fmt.Fprintf(w, "c2_delta_users %d\n", ds.Users)
+		gauge("c2_delta_age_seconds", "Age of the oldest un-compacted upsert.")
+		fmt.Fprintf(w, "c2_delta_age_seconds %.3f\n", ds.AgeSec)
+	}
+
 	gauge("c2_snapshot_epoch", "Epoch of the currently served snapshot.")
 	fmt.Fprintf(w, "c2_snapshot_epoch %d\n", st.epoch)
 	counter("c2_snapshot_swaps_total", "Successful snapshot hot-swaps.")
@@ -107,4 +124,18 @@ func (s *Server) serveMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "c2_request_duration_seconds_bucket{le=\"+Inf\"} %d\n", total)
 	fmt.Fprintf(w, "c2_request_duration_seconds_sum %.6f\n", float64(stats.lat.SumMicros())/1e6)
 	fmt.Fprintf(w, "c2_request_duration_seconds_count %d\n", total)
+
+	// Upsert latency histogram (one observation per absorbed profile),
+	// emitted once the write path has been exercised.
+	if stats.upserts.Load() > 0 {
+		ucum, utotal := stats.upsertLat.CumulativeAtMost(uppers)
+		fmt.Fprintf(w, "# HELP c2_upsert_duration_seconds Upsert latency (absorbed profiles).\n")
+		fmt.Fprintf(w, "# TYPE c2_upsert_duration_seconds histogram\n")
+		for i, le := range metricsBucketsSecs {
+			fmt.Fprintf(w, "c2_upsert_duration_seconds_bucket{le=\"%g\"} %d\n", le, ucum[i])
+		}
+		fmt.Fprintf(w, "c2_upsert_duration_seconds_bucket{le=\"+Inf\"} %d\n", utotal)
+		fmt.Fprintf(w, "c2_upsert_duration_seconds_sum %.6f\n", float64(stats.upsertLat.SumMicros())/1e6)
+		fmt.Fprintf(w, "c2_upsert_duration_seconds_count %d\n", utotal)
+	}
 }

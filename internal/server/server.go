@@ -102,6 +102,23 @@ type Config struct {
 	// and the soak harness only — never enable it on a reachable
 	// production port.
 	FaultInjection bool
+	// Upserts enables the write path: a delta overlay is attached to the
+	// served index (which must carry fingerprints), POST /v1/upsert
+	// absorbs profiles into it, and POST /admin/compact (or the
+	// background loop StartCompactor runs) folds base + delta back into
+	// SnapshotPath and hot-swaps the result. Reload attaches a fresh
+	// overlay to the reloaded snapshot — un-compacted upserts do not
+	// carry across an explicit reload (compaction is the path that
+	// preserves them).
+	Upserts bool
+	// UpsertParams parameterizes the overlay when Upserts is set; the
+	// zero value matches c2build's defaults.
+	UpsertParams c2knn.UpsertConfig
+	// ReadOnly marks this daemon a read replica: /v1/upsert and
+	// /admin/compact refuse with 403 and a typed body (kind
+	// "read-only") instead of accepting writes that a reload would
+	// silently discard. Mutually exclusive with Upserts.
+	ReadOnly bool
 }
 
 func (c *Config) setDefaults() {
@@ -168,6 +185,14 @@ func New(ix *c2knn.Index, cfg Config) (*Server, error) {
 		return nil, errors.New("server: need a non-nil index")
 	}
 	cfg.setDefaults()
+	if cfg.Upserts && cfg.ReadOnly {
+		return nil, errors.New("server: Upserts and ReadOnly are mutually exclusive")
+	}
+	if cfg.Upserts {
+		if err := ix.EnableUpserts(cfg.UpsertParams); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:   cfg,
 		cache: NewCache(cfg.CacheEntries, cfg.CacheShards, cfg.CacheMaxBytes),
@@ -199,6 +224,7 @@ func New(ix *c2knn.Index, cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/neighbors", query(func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpNeighbors) }))
 	s.mux.Handle("/v1/topk", query(func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpTopK) }))
 	s.mux.Handle("/v1/recommend", query(func(w http.ResponseWriter, r *http.Request) { s.serveQuery(w, r, EpRecommend) }))
+	s.mux.Handle("/v1/upsert", query(s.serveUpsert))
 	s.mux.HandleFunc("/healthz", s.serveHealthz)
 	s.mux.HandleFunc("/statsz", s.serveStatsz)
 	s.mux.HandleFunc("/metrics", s.serveMetrics)
@@ -206,6 +232,7 @@ func New(ix *c2knn.Index, cfg Config) (*Server, error) {
 	// an operator fixes an overloaded or misbehaving daemon, and a big
 	// snapshot may legitimately take longer than a query deadline.
 	s.mux.Handle("/admin/reload", middleware.Chain(http.HandlerFunc(s.serveReload), observe))
+	s.mux.Handle("/admin/compact", middleware.Chain(http.HandlerFunc(s.serveCompact), observe))
 	if cfg.FaultInjection {
 		s.mux.Handle("/admin/panic", middleware.Chain(http.HandlerFunc(s.servePanic), observe))
 		s.mux.Handle("/admin/delay", query(s.serveDelay))
@@ -285,6 +312,18 @@ func (s *Server) Reload() error {
 		// snapshot on disk is bad.
 		s.stats.RecordReloadFailure(ReloadErrorKind(err), err.Error())
 		return err
+	}
+	if s.cfg.Upserts {
+		// A fresh overlay for the fresh snapshot; an explicit reload
+		// replaces state from disk wholesale, so un-compacted upserts on
+		// the old index do not carry over (CompactNow is the path that
+		// preserves them).
+		if err := ix.EnableUpserts(s.cfg.UpsertParams); err != nil {
+			ix.Close()
+			err = fmt.Errorf("server: reload %s: %w", s.cfg.SnapshotPath, err)
+			s.stats.RecordReloadFailure(ReloadErrorKind(err), err.Error())
+			return err
+		}
 	}
 	old := s.st.Load()
 	s.st.Store(&state{ix: ix, epoch: old.epoch + 1})
@@ -435,7 +474,11 @@ func (s *Server) answer(ctx context.Context, ep Endpoint, u int32, batch []int32
 	defer st.ix.Release()
 
 	kb := s.keys.Get().(*[]byte)
-	key := appendKeyHeader((*kb)[:0], ep, st.epoch, count, batch != nil)
+	// The delta sequence joins the epoch in every key: within one
+	// snapshot epoch, each absorbed upsert retires all earlier cached
+	// results, so reads-after-writes never serve a pre-upsert body.
+	// Indexes without an overlay report 0 and key exactly as before.
+	key := appendKeyHeader((*kb)[:0], ep, st.epoch, st.ix.DeltaSeq(), count, batch != nil)
 	if batch == nil {
 		key = binary.LittleEndian.AppendUint32(key, uint32(u))
 	} else {
@@ -565,8 +608,8 @@ func countParam(ep Endpoint) string {
 }
 
 // appendKeyHeader starts a cache key: endpoint, batch marker, snapshot
-// epoch, and the k/n parameter. User ids follow.
-func appendKeyHeader(key []byte, ep Endpoint, epoch uint64, count int, batch bool) []byte {
+// epoch, delta sequence, and the k/n parameter. User ids follow.
+func appendKeyHeader(key []byte, ep Endpoint, epoch, deltaSeq uint64, count int, batch bool) []byte {
 	key = append(key, byte(ep))
 	if batch {
 		key = append(key, 1)
@@ -574,6 +617,7 @@ func appendKeyHeader(key []byte, ep Endpoint, epoch uint64, count int, batch boo
 		key = append(key, 0)
 	}
 	key = binary.LittleEndian.AppendUint64(key, epoch)
+	key = binary.LittleEndian.AppendUint64(key, deltaSeq)
 	key = binary.LittleEndian.AppendUint32(key, uint32(count))
 	return key
 }
@@ -659,14 +703,32 @@ type healthResponse struct {
 	Users  int    `json:"users"`
 	K      int    `json:"k"`
 	Epoch  uint64 `json:"epoch"`
+	// DeltaSeq and Delta appear on upsert-enabled daemons only. The
+	// router's health poll reads DeltaSeq to detect writes landing on a
+	// replica that should be read-only (delta skew).
+	DeltaSeq uint64       `json:"delta_seq,omitempty"`
+	Delta    *deltaHealth `json:"delta,omitempty"`
+}
+
+// deltaHealth is the freshness block of /healthz: how much absorbed-
+// but-not-compacted state the daemon holds.
+type deltaHealth struct {
+	Depth  int     `json:"depth"`
+	Users  int     `json:"users"`
+	AgeSec float64 `json:"age_sec"`
 }
 
 func (s *Server) serveHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.st.Load()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(healthResponse{
+	h := healthResponse{
 		Status: "ok", Users: st.ix.NumUsers(), K: st.ix.K(), Epoch: st.epoch,
-	})
+	}
+	if ds, ok := st.ix.DeltaStats(); ok {
+		h.DeltaSeq = ds.Seq
+		h.Delta = &deltaHealth{Depth: ds.Depth, Users: ds.Users, AgeSec: ds.AgeSec}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
 }
 
 func (s *Server) serveStatsz(w http.ResponseWriter, r *http.Request) {
@@ -677,6 +739,13 @@ func (s *Server) serveStatsz(w http.ResponseWriter, r *http.Request) {
 	snap.Users = st.ix.NumUsers()
 	snap.K = st.ix.K()
 	snap.SimKernel = similarity.KernelName()
+	snap.ReadOnly = s.cfg.ReadOnly
+	if ds, ok := st.ix.DeltaStats(); ok {
+		snap.Delta = &DeltaSnapshot{
+			Depth: ds.Depth, Users: ds.Users, PatchedRows: ds.PatchedRows,
+			AgeSec: ds.AgeSec, Seq: ds.Seq, Marker: ds.Marker,
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(snap)
 }

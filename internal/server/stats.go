@@ -179,6 +179,16 @@ type Stats struct {
 	lastReloadKind string
 	lastReloadErr  string
 
+	// Write-path counters (fed by /v1/upsert and the compactor).
+	upserts      atomic.Uint64 // profiles absorbed
+	upsertErrors atomic.Uint64 // upsert entries rejected (bad items, bad user)
+	compactions  atomic.Uint64 // completed compaction swaps
+	compactFail  atomic.Uint64 // compaction cycles that failed (old state kept)
+	upsertLat    LatencyHist   // per-absorbed-profile latency
+
+	compactErrMu   sync.Mutex
+	lastCompactErr string
+
 	lat LatencyHist
 
 	qpsCounts [qpsWindowSlots]atomic.Uint64
@@ -243,6 +253,27 @@ func (st *Stats) RecordTimeout() { st.timeouts.Add(1) }
 // (answered 413).
 func (st *Stats) RecordTooLarge() { st.tooLarge.Add(1) }
 
+// RecordUpsert accounts one absorbed profile and its write latency.
+func (st *Stats) RecordUpsert(d time.Duration) {
+	st.upserts.Add(1)
+	st.upsertLat.Record(d)
+}
+
+// RecordUpsertError accounts one rejected upsert entry.
+func (st *Stats) RecordUpsertError() { st.upsertErrors.Add(1) }
+
+// RecordCompaction accounts one completed compaction swap.
+func (st *Stats) RecordCompaction() { st.compactions.Add(1) }
+
+// RecordCompactionFailure accounts one failed compaction cycle and
+// remembers its message for /statsz (sticky, like reload failures).
+func (st *Stats) RecordCompactionFailure(msg string) {
+	st.compactFail.Add(1)
+	st.compactErrMu.Lock()
+	st.lastCompactErr = msg
+	st.compactErrMu.Unlock()
+}
+
 // InFlightGauge exposes the live in-flight gauge the shed stage
 // maintains.
 func (st *Stats) InFlightGauge() *atomic.Int64 { return &st.inFlight }
@@ -250,7 +281,7 @@ func (st *Stats) InFlightGauge() *atomic.Int64 { return &st.inFlight }
 // knownStatusCodes are the statuses the daemon emits on its query and
 // admin surfaces; anything else lands in the trailing "other" slot.
 // /metrics exports these as c2_responses_total{code="..."}.
-var knownStatusCodes = [...]int{200, 400, 404, 405, 413, 429, 500, 503}
+var knownStatusCodes = [...]int{200, 400, 403, 404, 405, 413, 429, 500, 503}
 
 // RecordStatus accounts one finished response on the query/admin
 // surface by status code.
@@ -347,6 +378,30 @@ type Snapshot struct {
 	ReloadFailures  uint64 `json:"reload_failures"`
 	LastReloadKind  string `json:"last_reload_kind,omitempty"`
 	LastReloadError string `json:"last_reload_error,omitempty"`
+
+	// Write-path counters; Delta is present on upsert-enabled daemons
+	// only (the server fills it from the overlay).
+	ReadOnly           bool           `json:"read_only,omitempty"`
+	Upserts            uint64         `json:"upserts_total,omitempty"`
+	UpsertErrors       uint64         `json:"upsert_errors_total,omitempty"`
+	UpsertP50Micros    float64        `json:"upsert_p50_us,omitempty"`
+	UpsertP99Micros    float64        `json:"upsert_p99_us,omitempty"`
+	Compactions        uint64         `json:"compactions_total,omitempty"`
+	CompactionFailures uint64         `json:"compaction_failures_total,omitempty"`
+	LastCompactError   string         `json:"last_compaction_error,omitempty"`
+	Delta              *DeltaSnapshot `json:"delta,omitempty"`
+}
+
+// DeltaSnapshot is the overlay block of /statsz: the amount of
+// absorbed-but-not-compacted state the daemon holds, and where its
+// sequence cursor stands.
+type DeltaSnapshot struct {
+	Depth       int     `json:"depth"`
+	Users       int     `json:"users"`
+	PatchedRows int     `json:"patched_rows"`
+	AgeSec      float64 `json:"age_sec"`
+	Seq         uint64  `json:"seq"`
+	Marker      uint64  `json:"marker"`
 }
 
 // Snapshot renders the counters into the /statsz JSON shape. Fields the
@@ -380,6 +435,17 @@ func (st *Stats) snapshot() Snapshot {
 	s.BodyTooLarge = st.tooLarge.Load()
 	s.InFlight = st.inFlight.Load()
 	s.ReloadFailures = st.reloadFail.Load()
+	s.Upserts = st.upserts.Load()
+	s.UpsertErrors = st.upsertErrors.Load()
+	if s.Upserts > 0 {
+		s.UpsertP50Micros = st.upsertLat.Percentile(0.50)
+		s.UpsertP99Micros = st.upsertLat.Percentile(0.99)
+	}
+	s.Compactions = st.compactions.Load()
+	s.CompactionFailures = st.compactFail.Load()
+	st.compactErrMu.Lock()
+	s.LastCompactError = st.lastCompactErr
+	st.compactErrMu.Unlock()
 	st.reloadErrMu.Lock()
 	s.LastReloadKind, s.LastReloadError = st.lastReloadKind, st.lastReloadErr
 	st.reloadErrMu.Unlock()

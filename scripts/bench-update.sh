@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
-# Promote the last bench.sh run to the regression baseline.
+# Run the incremental-maintenance benchmark (delta-overlay upsert
+# latency, merged-read allocations, compaction time, and the recall of
+# an incrementally grown graph versus a from-scratch rebuild) and
+# record benchmarks/BENCH_update.json — the freshness regression
+# tracker consumed by scripts/bench-compare.sh and CI.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [ ! -f benchmarks/latest.txt ]; then
-  echo "benchmarks/latest.txt not found; run scripts/bench.sh first" >&2
-  exit 1
-fi
+SCALE="${UPDATE_SCALE:-0.05}"
+WORKERS="${UPDATE_WORKERS:-4}"
 
-cp benchmarks/latest.txt benchmarks/baseline.txt
-echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"
+mkdir -p benchmarks
+go run ./cmd/c2bench -exp update -scale "$SCALE" -workers "$WORKERS" \
+  -json benchmarks/BENCH_update.json
+P99="$(sed -n 's/.*"upsert_p99_ms": *\([0-9.]*\).*/\1/p' benchmarks/BENCH_update.json | head -n1)"
+DELTA="$(sed -n 's/.*"recall_delta": *\([0-9.]*\).*/\1/p' benchmarks/BENCH_update.json | head -n1)"
+echo "wrote benchmarks/BENCH_update.json (upsert p99 ${P99:-n/a} ms, recall delta ${DELTA:-n/a})"

@@ -1,0 +1,177 @@
+package c2knn
+
+import (
+	"errors"
+	"fmt"
+
+	"c2knn/internal/delta"
+	"c2knn/internal/frh"
+	"c2knn/internal/persist"
+)
+
+// DefaultGFSeed is the GoldFinger item-hash seed NewGoldFinger builds
+// fingerprints with. Snapshots do not record the seed (fingerprints are
+// self-contained for scoring), so upsert-enabled indexes assume it
+// unless UpsertConfig says otherwise.
+const DefaultGFSeed uint32 = 0x60fd
+
+// ErrUpsertsDisabled is returned by the write-path methods of an Index
+// whose delta overlay is not enabled (EnableUpserts was never called,
+// or the overlay moved to a successor index after a compaction).
+var ErrUpsertsDisabled = errors.New("c2knn: upserts are not enabled on this index")
+
+// UpsertConfig parameterizes EnableUpserts. The clustering fields
+// should match the parameters the snapshot was built with — placement
+// stays correct under any consistent configuration, but matching the
+// build's makes an upsert re-solve the very clusters the builder did.
+type UpsertConfig struct {
+	// B, T, MaxClusterSize and Seed configure the FastRandomHash family
+	// used to place incoming profiles (defaults: the paper's B=4096,
+	// T=8, N=2000 with seed 0).
+	B, T, MaxClusterSize int
+	Seed                 int64
+	// GFSeed is the fingerprint item-hash seed (default DefaultGFSeed,
+	// matching NewGoldFinger and c2build).
+	GFSeed uint32
+	// MaxItems bounds accepted item ids; see delta.Config.MaxItems.
+	MaxItems int32
+}
+
+// UpsertResult reports one absorbed upsert; see the delta package for
+// field semantics.
+type UpsertResult = delta.Result
+
+// DeltaStats is the observability snapshot of an index's delta overlay.
+type DeltaStats = delta.Stats
+
+// EnableUpserts attaches a delta overlay to the index, turning it into
+// an incrementally maintainable one: Upsert absorbs new users and
+// ratings in sub-second time, the query methods serve base + delta
+// merged views, and CompactInto folds the delta into a fresh snapshot.
+// The index must carry fingerprints (snapshots built without them
+// cannot score upserts). Enabling is one-time per index; the overlay
+// migrates to successor indexes through AdoptDeltaFrom.
+func (ix *Index) EnableUpserts(cfg UpsertConfig) error {
+	if ix.gf == nil {
+		return fmt.Errorf("c2knn: index carries no fingerprints; rebuild the snapshot with fingerprints to enable upserts")
+	}
+	if cfg.GFSeed == 0 {
+		cfg.GFSeed = DefaultGFSeed
+	}
+	ov, err := delta.Attach(ix.graph, ix.train, ix.gf, delta.Config{
+		K: ix.graph.K,
+		FRH: frh.Options{
+			B:       cfg.B,
+			T:       cfg.T,
+			MaxSize: cfg.MaxClusterSize,
+			Seed:    cfg.Seed,
+		},
+		GFSeed:   cfg.GFSeed,
+		MaxItems: cfg.MaxItems,
+	})
+	if err != nil {
+		return err
+	}
+	if !ix.overlay.CompareAndSwap(nil, ov) {
+		return errors.New("c2knn: upserts already enabled on this index")
+	}
+	return nil
+}
+
+// Upserts reports whether the index currently has a delta overlay
+// attached.
+func (ix *Index) Upserts() bool { return ix.overlay.Load() != nil }
+
+// Upsert absorbs one profile into the index without a rebuild: the
+// profile is placed via the FastRandomHash buckets and re-solved only
+// against its clusters' rows. user < 0 inserts a new user (the assigned
+// id — contiguous after the snapshot's ids, stable across compactions —
+// is returned); an existing id merges the items into that user's
+// profile. The write is visible to every query issued after Upsert
+// returns, and to no query that resolved its view before. Safe for
+// concurrent use with queries and other upserts.
+func (ix *Index) Upsert(user int32, items []int32) (UpsertResult, error) {
+	ov := ix.overlay.Load()
+	if ov == nil {
+		return UpsertResult{}, ErrUpsertsDisabled
+	}
+	return ov.Upsert(user, items)
+}
+
+// DeltaStats snapshots the overlay's depth/age/counter state; ok is
+// false when upserts are not enabled.
+func (ix *Index) DeltaStats() (DeltaStats, bool) {
+	ov := ix.overlay.Load()
+	if ov == nil {
+		return DeltaStats{}, false
+	}
+	return ov.Stats(), true
+}
+
+// DeltaSeq returns the overlay's current upsert sequence number (0 when
+// upserts are not enabled). Serving caches key on it so results
+// invalidate as upserts land within an epoch.
+func (ix *Index) DeltaSeq() uint64 {
+	ov := ix.overlay.Load()
+	if ov == nil {
+		return 0
+	}
+	return ov.View().Seq()
+}
+
+// CompactInto folds base + delta into fresh artifacts and writes them
+// to path as a v2 snapshot (atomically, like Save). The returned marker
+// identifies the upsert sequence the snapshot absorbs: load the file
+// into a new index and call AdoptDeltaFrom(old, marker) on it to carry
+// the overlay — and any upserts that raced in during the fold — across
+// the swap. Upserts and queries continue concurrently throughout.
+func (ix *Index) CompactInto(path string) (marker uint64, err error) {
+	ov := ix.overlay.Load()
+	if ov == nil {
+		return 0, ErrUpsertsDisabled
+	}
+	cmp, err := ov.Compact()
+	if err != nil {
+		return 0, err
+	}
+	if err := persist.WriteFile(path, &persist.Snapshot{
+		Graph:      cmp.Graph,
+		Train:      cmp.Train,
+		GoldFinger: cmp.GoldFinger,
+	}); err != nil {
+		return 0, err
+	}
+	return cmp.Marker, nil
+}
+
+// AdoptDeltaFrom migrates old's delta overlay onto ix after a
+// compaction: patches the snapshot ix was loaded from already contains
+// (sequence ≤ marker) are dropped, later ones survive. Call it on the
+// freshly loaded index before swapping it into service, then
+// DetachDelta on the old index once it is out of the serving path —
+// requests still draining on the old index fall back to its plain base
+// reads (memory-safe; at most one request observes pre-upsert staleness
+// during the swap).
+func (ix *Index) AdoptDeltaFrom(old *Index, marker uint64) error {
+	if old == nil {
+		return errors.New("c2knn: no index to adopt a delta overlay from")
+	}
+	ov := old.overlay.Load()
+	if ov == nil {
+		return ErrUpsertsDisabled
+	}
+	if ix.gf == nil {
+		return errors.New("c2knn: adopting index carries no fingerprints")
+	}
+	if err := ov.Rebase(ix.graph, ix.train, ix.gf, marker); err != nil {
+		return err
+	}
+	if !ix.overlay.CompareAndSwap(nil, ov) {
+		return errors.New("c2knn: index already has a delta overlay")
+	}
+	return nil
+}
+
+// DetachDelta removes the index's delta overlay reference (a no-op when
+// none is attached). Queries revert to the plain base snapshot.
+func (ix *Index) DetachDelta() { ix.overlay.Store(nil) }
